@@ -1,0 +1,63 @@
+// nexus-bench regenerates the paper's tables and figures.
+//
+//	nexus-bench -list                 # show available experiments
+//	nexus-bench -run fig10,fig11      # run specific experiments
+//	nexus-bench -run all -short       # run everything at reduced precision
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nexus/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "", "comma-separated experiment IDs, or 'all'")
+	short := flag.Bool("short", false, "reduced simulation horizons and search precision")
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments.List() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Description)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id>[,<id>...] or -run all")
+		}
+		return
+	}
+
+	var ids []string
+	if *run == "all" {
+		for _, e := range experiments.List() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+	exitCode := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, err := experiments.Get(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitCode = 1
+			continue
+		}
+		start := time.Now()
+		table, err := e.Run(*short)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			exitCode = 1
+			continue
+		}
+		table.Fprint(os.Stdout)
+		fmt.Printf("  (completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	os.Exit(exitCode)
+}

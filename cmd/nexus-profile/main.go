@@ -1,0 +1,100 @@
+// nexus-profile prints the batching profiles the management plane derives
+// for catalog models (§5 "Model ingest" / "profiler"): batched execution
+// latency ℓ(b), throughput, the largest SLO-safe batch, and memory needs.
+//
+//	nexus-profile                       # summary of every catalog model
+//	nexus-profile -model resnet50       # ℓ(b) table for one model
+//	nexus-profile -gpu v100 -slo 50ms   # different device / SLO column
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"nexus/internal/model"
+	"nexus/internal/profiler"
+)
+
+func main() {
+	gpuFlag := flag.String("gpu", "gtx1080ti", "GPU type: gtx1080ti, k80, v100")
+	modelFlag := flag.String("model", "", "print the full l(b) table for one model")
+	sloFlag := flag.Duration("slo", 100*time.Millisecond, "SLO for the max-batch column")
+	exportModels := flag.String("export-models", "", "write the model database as JSON to this file")
+	exportProfiles := flag.String("export-profiles", "", "write the profile database as JSON to this file")
+	flag.Parse()
+
+	gpu := profiler.GPUType(*gpuFlag)
+	if _, err := profiler.Spec(gpu); err != nil {
+		log.Fatal(err)
+	}
+	mdb := model.Catalog()
+	pdb, err := profiler.CatalogProfiles(mdb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *exportModels != "" {
+		if err := writeFile(*exportModels, mdb.Save); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *exportModels)
+	}
+	if *exportProfiles != "" {
+		if err := writeFile(*exportProfiles, pdb.Save); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *exportProfiles)
+	}
+	if *exportModels != "" || *exportProfiles != "" {
+		return
+	}
+
+	if *modelFlag != "" {
+		p, err := pdb.Get(*modelFlag, gpu)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("batching profile: %s on %s (alpha=%v beta=%v)\n", p.ModelID, p.GPU, p.Alpha, p.Beta)
+		fmt.Printf("%-8s %-14s %-12s\n", "batch", "latency l(b)", "req/s")
+		for b := 1; b <= p.MaxBatch; b *= 2 {
+			fmt.Printf("%-8d %-14v %-12.1f\n", b, p.BatchLatency(b), p.Throughput(b))
+		}
+		return
+	}
+
+	fmt.Printf("catalog profiles on %s (SLO column at %v)\n", gpu, *sloFlag)
+	fmt.Printf("%-15s %-12s %-12s %-10s %-12s %-10s\n",
+		"model", "l(1)", "l(32)", "B(slo)", "T(slo) r/s", "mem")
+	for _, id := range model.CatalogIDs() {
+		p, err := pdb.Get(id, gpu)
+		if err != nil {
+			continue
+		}
+		b, tput := p.SaturateBatch(*sloFlag)
+		bCol, tCol := "-", "-"
+		if b > 0 {
+			bCol = fmt.Sprint(b)
+			tCol = fmt.Sprintf("%.0f", tput)
+		}
+		fmt.Printf("%-15s %-12v %-12v %-10s %-12s %-10s\n",
+			id, p.BatchLatency(1), p.BatchLatency(min(32, p.MaxBatch)),
+			bCol, tCol, fmt.Sprintf("%.2fGB", float64(p.MemBase)/float64(1<<30)))
+	}
+	_ = os.Stdout
+}
+
+// writeFile creates path and streams save into it.
+func writeFile(path string, save func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,145 @@
+// nexus-sim runs an ad-hoc simulated deployment — one of the paper's
+// applications, or a declarative JSON spec — and reports serving
+// statistics and the per-second load / GPU-usage / bad-rate panels of
+// Figure 13.
+//
+//	nexus-sim -app traffic -rate 200 -gpus 16 -duration 60s
+//	nexus-sim -app all -scale 0.3 -gpus 32 -system clipper
+//	nexus-sim -spec deployment.json -duration 120s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"nexus/internal/apps"
+	"nexus/internal/cluster"
+	"nexus/internal/spec"
+)
+
+func main() {
+	system := flag.String("system", "nexus", "nexus | nexus-parallel | clipper | tfserving")
+	app := flag.String("app", "traffic", "game | traffic | dance | bb | bike | amber | logo | all")
+	gpus := flag.Int("gpus", 16, "GPU pool size")
+	rate := flag.Float64("rate", 100, "offered request/query rate for the app")
+	scale := flag.Float64("scale", 0.2, "workload scale for -app all")
+	duration := flag.Duration("duration", 60*time.Second, "measured virtual time")
+	epoch := flag.Duration("epoch", 10*time.Second, "control-plane epoch")
+	seed := flag.Int64("seed", 1, "workload seed")
+	fixed := flag.Bool("fixed", false, "treat the pool as a fixed cluster (spread spare GPUs)")
+	rush := flag.Bool("rush", false, "rush-hour traffic (higher per-frame fan-out)")
+	specPath := flag.String("spec", "", "JSON deployment spec (overrides -app/-system/-gpus)")
+	traceN := flag.Int("trace", 0, "record and print the last N request lifecycle events")
+	deferDrops := flag.Bool("defer", false, "serve would-be-dropped requests late at low priority (§5 alternative)")
+	flag.Parse()
+
+	var d *cluster.Deployment
+	var err error
+	if *specPath != "" {
+		f, ferr := os.Open(*specPath)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		doc, perr := spec.Parse(f)
+		f.Close()
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		d, err = doc.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		runAndReport(d, *duration, *specPath, d.Pool.Capacity())
+		return
+	}
+	d, err = cluster.New(cluster.Config{
+		System:        cluster.System(*system),
+		Features:      cluster.AllFeatures(),
+		GPUs:          *gpus,
+		Seed:          *seed,
+		Epoch:         *epoch,
+		FixedCluster:  *fixed,
+		TraceCapacity: *traceN,
+		DeferDropped:  *deferDrops,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var builders []apps.Builder
+	switch *app {
+	case "game":
+		builders = append(builders, apps.Game(20, *rate/7))
+	case "traffic":
+		builders = append(builders, apps.Traffic(20, *rate/20, *rush))
+	case "dance":
+		builders = append(builders, apps.Dance(*rate))
+	case "bb":
+		builders = append(builders, apps.Billboard(*rate))
+	case "bike":
+		builders = append(builders, apps.Bike(*rate))
+	case "amber":
+		builders = append(builders, apps.Amber(*rate))
+	case "logo":
+		builders = append(builders, apps.Logo(*rate))
+	case "all":
+		builders = apps.All(*scale)
+	default:
+		log.Fatalf("unknown app %q", *app)
+	}
+	for _, b := range builders {
+		if _, err := apps.Deploy(d, b); err != nil {
+			log.Fatal(err)
+		}
+	}
+	runAndReport(d, *duration, fmt.Sprintf("%s/%s", *system, *app), *gpus)
+}
+
+// runAndReport executes the deployment and prints the standard panels.
+func runAndReport(d *cluster.Deployment, duration time.Duration, label string, gpus int) {
+	bad, err := d.Run(duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("nexus-sim: %s for %v on %d GPUs\n", label, duration, gpus)
+	fmt.Printf("  bad rate:     %.2f%%\n", 100*bad)
+	fmt.Printf("  goodput:      %.1f req/s\n", d.Goodput(duration))
+	fmt.Printf("  GPUs in use:  %.1f (avg)\n", d.AvgGPUsUsed())
+	fmt.Printf("  unroutable:   %d\n", d.Unroutable())
+	fmt.Println("\n  per-session:")
+	for _, sid := range d.Recorder.SessionIDs() {
+		s := d.Recorder.Session(sid)
+		if s.Sent == 0 {
+			continue
+		}
+		fmt.Printf("    %-22s sent=%7d good=%7d dropped=%5d late=%5d p50=%-10v p99=%v\n",
+			sid, s.Sent, s.Good(), s.Dropped, s.Missed,
+			s.Latency.Quantile(0.5), s.Latency.Quantile(0.99))
+	}
+	fmt.Println("\n  timeline (10s buckets): offered r/s | GPUs | bad%")
+	step := 10
+	for i := 0; i*step < int(duration.Seconds()); i++ {
+		var offered, badN, goodN, g float64
+		for j := i * step; j < (i+1)*step; j++ {
+			offered += d.Arrivals.Sum(j)
+			badN += d.BadEvts.Sum(j)
+			goodN += d.GoodEvts.Sum(j)
+			g += d.GPUsUsed.Mean(j)
+		}
+		badPct := 0.0
+		if badN+goodN > 0 {
+			badPct = 100 * badN / (badN + goodN)
+		}
+		fmt.Printf("    t=%3ds  %8.1f | %5.1f | %5.2f%%\n",
+			(i+1)*step, offered/float64(step), g/float64(step), badPct)
+	}
+	if tr := d.Tracer(); tr != nil {
+		fmt.Printf("\n  trace (last %d of %d events):\n", len(tr.Events()), tr.Total())
+		if err := tr.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Game-stream analysis (§7.3.1): per game stream, specialized LeNet digit
+// recognizers and a specialized ResNet-50 icon recognizer serve under a
+// tight 50 ms SLO; request rates across 20 games follow Zipf(0.9). This
+// example compares the maximum sustained request rate (99% within SLO)
+// across serving systems — the Figure 10 comparison.
+//
+//	go run ./examples/gameanalysis
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"nexus"
+)
+
+const (
+	games = 20
+	gpus  = 16
+)
+
+func maxGoodput(system nexus.System, features nexus.Features) float64 {
+	return nexus.MaxGoodput(20, 100000, 20*time.Second, func(rate float64) (*nexus.Deployment, error) {
+		d, err := nexus.NewDeployment(nexus.Config{
+			System:       system,
+			Features:     features,
+			GPUs:         gpus,
+			Seed:         11,
+			Epoch:        10 * time.Second,
+			FixedCluster: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The offered rate counts individual DNN requests; each sampled
+		// frame issues 6 digit crops + 1 icon, so frames/s = rate/7.
+		if err := nexus.DeployApp(d, nexus.AppGame(games, rate/7)); err != nil {
+			return nil, err
+		}
+		return d, nil
+	})
+}
+
+func main() {
+	fmt.Printf("game-stream analysis — %d games, specialized LeNet+ResNet-50, SLO 50ms, %d GPUs\n", games, gpus)
+	fmt.Println("  max request rate with >= 99% within SLO:")
+
+	systems := []struct {
+		name     string
+		system   nexus.System
+		features nexus.Features
+	}{
+		{"TF Serving (baseline)", nexus.SystemTFServing, nexus.Features{}},
+		{"Clipper (baseline)", nexus.SystemClipper, nexus.Features{}},
+		{"Nexus (full)", nexus.SystemNexus, nexus.AllFeatures()},
+	}
+	results := map[string]float64{}
+	for _, s := range systems {
+		tput := maxGoodput(s.system, s.features)
+		results[s.name] = tput
+		fmt.Printf("    %-22s %8.0f req/s\n", s.name, tput)
+	}
+	nexusTput := results["Nexus (full)"]
+	fmt.Printf("\n  Nexus vs TF Serving: %.1fx    Nexus vs Clipper: %.1fx\n",
+		nexusTput/results["TF Serving (baseline)"], nexusTput/results["Clipper (baseline)"])
+
+	// Cumulative ablation, as in the paper's Figure 10: features are
+	// turned off additively left to right.
+	fmt.Println("\n  cumulative ablation (features disabled additively, Figure 10):")
+	f := nexus.AllFeatures()
+	steps := []struct {
+		name   string
+		mutate func(*nexus.Features)
+	}{
+		{"-PB (no prefix batching)", func(f *nexus.Features) { f.PrefixBatch = false }},
+		{"-SS (batch-oblivious sched)", func(f *nexus.Features) { f.Squishy = false }},
+		{"-ED (lazy drop)", func(f *nexus.Features) { f.EarlyDrop = false }},
+		{"-OL (no CPU/GPU overlap)", func(f *nexus.Features) { f.Overlap = false }},
+	}
+	for _, s := range steps {
+		s.mutate(&f)
+		tput := maxGoodput(nexus.SystemNexus, f)
+		fmt.Printf("    %-28s %8.0f req/s (%.0f%% of full Nexus)\n", s.name, tput, 100*tput/nexusTput)
+	}
+}

@@ -1,0 +1,70 @@
+// Prefix sharing (§6.3, Figure 15): N ResNet-50 variants specialized by
+// transfer learning differ only in their final layer(s). Without prefix
+// batching each variant batches alone and keeps a full copy of the model
+// in GPU memory; with prefix batching the shared trunk executes as one
+// batch and only the tiny suffixes are per-variant.
+//
+//	go run ./examples/prefixsharing
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nexus"
+)
+
+func main() {
+	mdb := nexus.Catalog()
+	base := mdb.MustGet(nexus.ResNet50)
+	fmt.Printf("prefix sharing — ResNet-50 (%d layers), variants specialized in the last FC layer\n\n", base.NumLayers())
+
+	profiles, err := nexus.CatalogProfiles(mdb, nexus.GTX1080Ti)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseProfile := profiles[nexus.ResNet50]
+	suffixFrac := float64(base.SuffixFLOPs(base.NumLayers()-2)) / float64(base.FLOPs())
+
+	fmt.Println("  single 1080Ti (11 GB), SLO 100ms; aggregate throughput across variants:")
+	fmt.Printf("  %-10s %-22s %-22s %-10s\n", "#variants", "w/o prefix (req/s)", "w/ prefix (req/s)", "gain")
+	slo := 100 * time.Millisecond
+	for _, k := range []int{2, 4, 6, 8, 10} {
+		sep, err := nexus.SeparateVariantsProfile(baseProfile, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		comb, err := nexus.CombinedProfile(baseProfile, suffixFrac, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Max throughput under the SLO: batch B with 2*l(B) <= SLO.
+		_, sepTput := sep.SaturateBatch(slo)
+		_, combTput := comb.SaturateBatch(slo)
+		fmt.Printf("  %-10d %-22.0f %-22.0f %.2fx\n", k, sepTput, combTput, combTput/sepTput)
+	}
+
+	fmt.Println("\n  GPU memory for the variant family (weights + workspace):")
+	fmt.Printf("  %-10s %-16s %-14s %-14s %-14s\n", "#variants", "w/o prefix", "1 FC suffix", "2 FC suffix", "3 FC suffix")
+	for _, k := range []int{2, 4, 6, 8, 10} {
+		row := fmt.Sprintf("  %-10d", k)
+		sep, _ := nexus.SeparateVariantsProfile(baseProfile, k)
+		row += fmt.Sprintf(" %-16s", gb(sep.MemBase))
+		for fc := 1; fc <= 3; fc++ {
+			frac := suffixFrac * float64(fc)
+			comb, err := nexus.CombinedProfile(baseProfile, frac, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf(" %-14s", gb(comb.MemBase))
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\n  (memory grows linearly with variants without sharing; with sharing the")
+	fmt.Println("   prefix is resident once and each extra FC suffix costs a few megabytes)")
+}
+
+func gb(b int64) string {
+	return fmt.Sprintf("%.2f GB", float64(b)/float64(1<<30))
+}

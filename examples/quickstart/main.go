@@ -1,0 +1,62 @@
+// Quickstart: serve one model under a latency SLO on a small simulated GPU
+// cluster and print the serving statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nexus"
+)
+
+func main() {
+	// A 4-GPU Nexus cluster with every optimization enabled.
+	d, err := nexus.NewDeployment(nexus.Config{
+		System:   nexus.SystemNexus,
+		Features: nexus.AllFeatures(),
+		GPUs:     4,
+		Seed:     42,
+		Epoch:    10 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve ResNet-50 at 800 req/s with a 100 ms latency SLO. The nil
+	// arrival process means uniform arrivals at the expected rate.
+	if err := d.AddSession(nexus.SessionSpec{
+		ID:           "demo",
+		ModelID:      nexus.ResNet50,
+		SLO:          100 * time.Millisecond,
+		ExpectedRate: 800,
+	}, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// Run 60 seconds of virtual time (finishes in milliseconds of real
+	// time — everything runs on a discrete-event simulation clock).
+	const duration = 60 * time.Second
+	badRate, err := d.Run(duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := d.Recorder.Session("demo")
+	fmt.Println("nexus quickstart — ResNet-50 @ 800 r/s, SLO 100ms, 4 GPUs")
+	fmt.Printf("  requests sent:       %d\n", st.Sent)
+	fmt.Printf("  served within SLO:   %d (%.2f%%)\n", st.Good(), 100*(1-badRate))
+	fmt.Printf("  dropped:             %d\n", st.Dropped)
+	fmt.Printf("  completed late:      %d\n", st.Missed)
+	fmt.Printf("  median latency:      %v\n", st.Latency.Quantile(0.5))
+	fmt.Printf("  p99 latency:         %v\n", st.Latency.Quantile(0.99))
+	fmt.Printf("  goodput:             %.0f req/s\n", d.Goodput(duration))
+	fmt.Printf("  GPUs in use (avg):   %.1f of %d\n", d.AvgGPUsUsed(), 4)
+	if badRate <= 0.01 {
+		fmt.Println("  SLO target met: >= 99% of requests within 100ms")
+	} else {
+		fmt.Printf("  SLO target missed: bad rate %.2f%%\n", 100*badRate)
+	}
+}

@@ -1,0 +1,80 @@
+// Traffic monitoring (Figure 8): an SSD detector feeds car make/model and
+// face recognition under a single 400 ms whole-query SLO. This example
+// shows (a) the query analyzer's latency split, and (b) the paper's
+// throughput metric — the maximum query rate served with >= 99% of queries
+// within the SLO — with and without query analysis, during rush and
+// non-rush hours (§7.3.2).
+//
+//	go run ./examples/trafficmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nexus"
+)
+
+func maxGoodput(rush, queryAnalysis bool) float64 {
+	return nexus.MaxGoodput(5, 2000, 30*time.Second, func(rate float64) (*nexus.Deployment, error) {
+		features := nexus.AllFeatures()
+		features.QueryAnalysis = queryAnalysis
+		d, err := nexus.NewDeployment(nexus.Config{
+			System:       nexus.SystemNexus,
+			Features:     features,
+			GPUs:         16,
+			Seed:         7,
+			Epoch:        10 * time.Second,
+			FixedCluster: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// 20 cameras sharing the offered query rate.
+		if err := nexus.DeployApp(d, nexus.AppTraffic(20, rate/20, rush)); err != nil {
+			return nil, err
+		}
+		return d, nil
+	})
+}
+
+func main() {
+	fmt.Println("traffic monitoring — SSD -> {GoogLeNet-car, VGG-Face}, SLO 400ms, 16 GPUs")
+
+	// The query analyzer's split: show how the 400ms budget is divided.
+	mdb := nexus.Catalog()
+	profiles, err := nexus.CatalogProfiles(mdb, nexus.GTX1080Ti)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := &nexus.Query{
+		Name: "traffic", SLO: 400 * time.Millisecond,
+		Root: &nexus.QueryNode{Name: "det", ModelID: nexus.SSD, Edges: []nexus.QueryEdge{
+			{Gamma: 1.5, Child: &nexus.QueryNode{Name: "car", ModelID: nexus.GoogLeNetCar}},
+			{Gamma: 0.5, Child: &nexus.QueryNode{Name: "face", ModelID: nexus.VGGFace}},
+		}},
+	}
+	budgets, gpus, err := nexus.OptimizeQuery(q, 80, profiles, 5*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  query-analysis split of the 400ms SLO (80 q/s):\n")
+	for _, stage := range []string{"det", "car", "face"} {
+		fmt.Printf("    %-5s %v\n", stage, budgets[stage])
+	}
+	fmt.Printf("    estimated GPUs: %.2f\n\n", gpus)
+
+	fmt.Println("  max query rate with >= 99% served within the 400ms SLO:")
+	for _, scenario := range []struct {
+		name string
+		rush bool
+	}{{"non-rush hour", false}, {"rush hour", true}} {
+		withQA := maxGoodput(scenario.rush, true)
+		withoutQA := maxGoodput(scenario.rush, false)
+		fmt.Printf("    %-14s query analysis: %6.0f q/s   even split: %6.0f q/s   (%.0f%% gain)\n",
+			scenario.name, withQA, withoutQA, 100*(withQA/withoutQA-1))
+	}
+	fmt.Println("\n  (rush hour detects more objects per frame, so each query costs more;")
+	fmt.Println("   the query analyzer gives the heavyweight SSD stage most of the budget)")
+}

@@ -1,0 +1,438 @@
+package backend
+
+import (
+	"fmt"
+	"time"
+
+	"nexus/internal/gpusim"
+	"nexus/internal/profiler"
+	"nexus/internal/simclock"
+)
+
+// Discipline is how a backend arbitrates its units on the GPU.
+type Discipline int
+
+const (
+	// RoundRobin cycles through units, one batch at a time — the Nexus GPU
+	// scheduler (§6.3 "GPU Multiplexing") and our TF-Serving stand-in.
+	RoundRobin Discipline = iota
+	// Parallel lets every unit issue work independently — Clipper's
+	// one-container-per-model behaviour and the "Nexus-parallel" ablation
+	// of Figure 14. Pair with a Shared-mode device to model interference.
+	Parallel
+)
+
+// Config selects the runtime features under test (the ablation switches of
+// §7.3: ED = early drop, OL = overlapped processing).
+type Config struct {
+	Policy     DropPolicy // nil = EarlyDrop
+	Overlap    bool       // overlap CPU pre/post-processing with GPU work
+	CPUWorkers int        // preprocessing thread pool size; 0 = 5 (§6.3)
+	Discipline Discipline
+	// OnBatch, when set, observes every batch submitted to the GPU
+	// (tracing hook; must not mutate the batch).
+	OnBatch func(backendID, unitID string, batch []Request)
+	// DeferDropped enables the paper's alternative service model (§5):
+	// requests that miss their deadline window are executed later at low
+	// priority instead of being discarded — they complete late (counted
+	// as missed, not dropped) whenever the GPU would otherwise idle.
+	DeferDropped bool
+}
+
+// maxDeferred bounds each unit's low-priority queue; beyond it, deferred
+// requests are really dropped.
+const maxDeferred = 4096
+
+// Unit is one schedulable entity on a backend: a session, or a prefix
+// group of sessions batched together (§6.3 "Prefix Batching").
+type Unit struct {
+	ID          string
+	Profile     *profiler.Profile
+	TargetBatch int
+	// Members lists the session IDs served by this unit (for stats); empty
+	// means the unit serves the session named by ID.
+	Members []string
+	// Prefix/Suffix, when both set, make this a prefix-batched group
+	// (§6.3): a batch executes the shared prefix once at full batch size,
+	// then one suffix invocation per member session actually present in
+	// the batch. Profile remains the conservative combined profile used
+	// for dispatch estimates.
+	Prefix *profiler.Profile
+	Suffix *profiler.Profile
+}
+
+// CompletionFunc observes every finished or dropped request.
+type CompletionFunc func(req Request, dropped bool, completedAt time.Duration)
+
+// Backend is one GPU worker node.
+type Backend struct {
+	ID    string
+	clock *simclock.Clock
+	dev   *gpusim.Device
+	cfg   Config
+
+	units  []*unitState
+	byID   map[string]*unitState
+	onDone CompletionFunc
+
+	rrIdx     int
+	rrRunning bool
+
+	lastGPUEnd time.Duration
+	// batches/items track executed batch statistics.
+	batches uint64
+	items   uint64
+}
+
+type unitState struct {
+	Unit
+	queue    Queue
+	deferred Queue // low-priority overflow when DeferDropped is on
+	ready    bool
+	running  bool // Parallel discipline: a batch is in flight
+}
+
+// New creates a backend on the given device.
+func New(id string, clock *simclock.Clock, dev *gpusim.Device, cfg Config, onDone CompletionFunc) *Backend {
+	if cfg.Policy == nil {
+		cfg.Policy = EarlyDrop{}
+	}
+	if cfg.CPUWorkers <= 0 {
+		cfg.CPUWorkers = 5
+	}
+	return &Backend{
+		ID: id, clock: clock, dev: dev, cfg: cfg,
+		byID:   make(map[string]*unitState),
+		onDone: onDone,
+	}
+}
+
+// Device exposes the underlying simulated GPU (for utilization metrics).
+func (b *Backend) Device() *gpusim.Device { return b.dev }
+
+// AvgBatchSize returns the mean executed batch size so far.
+func (b *Backend) AvgBatchSize() float64 {
+	if b.batches == 0 {
+		return 0
+	}
+	return float64(b.items) / float64(b.batches)
+}
+
+// UnitIDs returns the configured unit IDs.
+func (b *Backend) UnitIDs() []string {
+	out := make([]string, len(b.units))
+	for i, u := range b.units {
+		out[i] = u.ID
+	}
+	return out
+}
+
+// QueueLen returns the queued request count for a unit (0 if unknown).
+func (b *Backend) QueueLen(unitID string) int {
+	if u, ok := b.byID[unitID]; ok {
+		return u.queue.Len()
+	}
+	return 0
+}
+
+// Configure installs a new unit set. Units whose ID persists keep their
+// queue and resident model; new units begin loading their models (which
+// takes real time — hundreds of ms, §2.2) and only serve once ready;
+// removed units are unloaded and their queued requests dropped.
+func (b *Backend) Configure(units []Unit) error {
+	newSet := make(map[string]bool, len(units))
+	for _, u := range units {
+		if u.Profile == nil {
+			return fmt.Errorf("backend %s: unit %s has no profile", b.ID, u.ID)
+		}
+		if u.TargetBatch < 1 {
+			return fmt.Errorf("backend %s: unit %s has target batch %d", b.ID, u.ID, u.TargetBatch)
+		}
+		newSet[u.ID] = true
+	}
+	// Remove vanished units first to free memory.
+	var kept []*unitState
+	for _, u := range b.units {
+		if newSet[u.ID] {
+			kept = append(kept, u)
+			continue
+		}
+		for _, r := range u.queue.PopN(u.queue.Len()) {
+			b.complete(r, true)
+		}
+		for _, r := range u.deferred.PopN(u.deferred.Len()) {
+			b.complete(r, true)
+		}
+		b.dev.Unload(u.ID)
+		delete(b.byID, u.ID)
+	}
+	b.units = kept
+	for _, nu := range units {
+		if existing, ok := b.byID[nu.ID]; ok {
+			existing.Unit = nu
+			continue
+		}
+		us := &unitState{Unit: nu}
+		bytes := nu.Profile.MemBase + int64(nu.TargetBatch)*nu.Profile.MemPerItem
+		if err := b.dev.Load(nu.ID, bytes, func() {
+			us.ready = true
+			b.wake(us)
+		}); err != nil {
+			return fmt.Errorf("backend %s: %w", b.ID, err)
+		}
+		b.byID[nu.ID] = us
+		b.units = append(b.units, us)
+	}
+	b.rrIdx = 0
+	return nil
+}
+
+// Enqueue adds a request to a unit's queue.
+func (b *Backend) Enqueue(unitID string, req Request) error {
+	u, ok := b.byID[unitID]
+	if !ok {
+		return fmt.Errorf("backend %s: no unit %s", b.ID, unitID)
+	}
+	u.queue.Push(req)
+	b.wake(u)
+	return nil
+}
+
+func (b *Backend) complete(r Request, dropped bool) {
+	if b.onDone != nil {
+		b.onDone(r, dropped, b.clock.Now())
+	}
+}
+
+// estimate returns the predicted completion latency of a batch of size n
+// for unit u, dispatched now.
+func (b *Backend) estimate(u *unitState, n int) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	gpu := u.Profile.BatchLatency(n)
+	pre := b.cpuTime(u.Profile.PreprocCPU, n)
+	post := b.cpuTime(u.Profile.PostprocCPU, n)
+	if b.cfg.Overlap {
+		// Preprocessing is pipelined behind the previous batch when the
+		// pipeline is warm; postprocessing happens off the critical path
+		// but still delays the response.
+		if b.pipelineWarm() {
+			return gpu + post
+		}
+		return pre + gpu + post
+	}
+	return pre + gpu + post
+}
+
+func (b *Backend) cpuTime(perItem time.Duration, n int) time.Duration {
+	workers := b.cfg.CPUWorkers
+	if n < workers {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	total := time.Duration(n) * perItem
+	return (total + time.Duration(workers) - 1) / time.Duration(workers)
+}
+
+// pipelineWarm reports whether the CPU workers had a previous batch to
+// preprocess behind; we treat the pipeline as warm if the GPU finished
+// work recently.
+func (b *Backend) pipelineWarm() bool {
+	return b.lastGPUEnd > 0 && b.clock.Now()-b.lastGPUEnd <= 5*time.Millisecond
+}
+
+// wake nudges the execution engine after an enqueue or model load.
+func (b *Backend) wake(u *unitState) {
+	switch b.cfg.Discipline {
+	case RoundRobin:
+		if !b.rrRunning {
+			b.rrRunning = true
+			b.stepRR()
+		}
+	case Parallel:
+		b.stepUnit(u)
+	}
+}
+
+// dynamicTarget returns the batch-size target for a unit right now: the
+// scheduler-assigned size, grown opportunistically under backlog while the
+// head-of-line request's deadline still accommodates the bigger batch. The
+// planned batch is a provisioning point, not a cap — draining a burst at a
+// larger (more efficient) batch is how the runtime catches back up.
+func (b *Backend) dynamicTarget(u *unitState) int {
+	target := u.TargetBatch
+	qlen := u.queue.Len()
+	if qlen <= target {
+		return target
+	}
+	head, ok := u.queue.Head()
+	if !ok {
+		return target
+	}
+	budget := head.Deadline - b.clock.Now()
+	for target < qlen && target < u.Profile.MaxBatch && b.estimate(u, target+1) <= budget {
+		target++
+	}
+	return target
+}
+
+// stepRR runs the round-robin GPU scheduler: find the next unit with work,
+// execute one batch, repeat. Goes idle when no unit has work.
+func (b *Backend) stepRR() {
+	for scanned := 0; scanned < len(b.units); scanned++ {
+		u := b.units[b.rrIdx]
+		b.rrIdx = (b.rrIdx + 1) % len(b.units)
+		if !u.ready || u.queue.Len() == 0 {
+			continue
+		}
+		batch, dropped := b.cfg.Policy.Pick(&u.queue, b.clock.Now(), b.dynamicTarget(u), func(n int) time.Duration {
+			return b.estimate(u, n)
+		})
+		b.handleDropped(u, dropped)
+		if len(batch) == 0 {
+			continue
+		}
+		b.execute(u, batch, b.stepRR)
+		return
+	}
+	// No unit has on-time work; serve deferred low-priority requests, if
+	// any, before going idle.
+	if b.cfg.DeferDropped {
+		for scanned := 0; scanned < len(b.units); scanned++ {
+			u := b.units[b.rrIdx]
+			b.rrIdx = (b.rrIdx + 1) % len(b.units)
+			if !u.ready || u.deferred.Len() == 0 {
+				continue
+			}
+			n := u.TargetBatch
+			if l := u.deferred.Len(); l < n {
+				n = l
+			}
+			b.execute(u, u.deferred.PopN(n), b.stepRR)
+			return
+		}
+	}
+	b.rrRunning = false
+}
+
+// handleDropped either reports drops or, in deferred mode, requeues them
+// at low priority (dropping only past the deferred-queue bound).
+func (b *Backend) handleDropped(u *unitState, dropped []Request) {
+	for _, r := range dropped {
+		if b.cfg.DeferDropped && u.deferred.Len() < maxDeferred {
+			u.deferred.Push(r)
+			continue
+		}
+		b.complete(r, true)
+	}
+}
+
+// stepUnit runs one unit's independent loop (Parallel discipline).
+func (b *Backend) stepUnit(u *unitState) {
+	if u.running || !u.ready || u.queue.Len() == 0 {
+		return
+	}
+	batch, dropped := b.cfg.Policy.Pick(&u.queue, b.clock.Now(), b.dynamicTarget(u), func(n int) time.Duration {
+		return b.estimate(u, n)
+	})
+	b.handleDropped(u, dropped)
+	if len(batch) == 0 {
+		if u.queue.Len() > 0 {
+			// Policy made progress by dropping; try again.
+			b.stepUnit(u)
+			return
+		}
+		if b.cfg.DeferDropped && u.deferred.Len() > 0 {
+			n := u.TargetBatch
+			if l := u.deferred.Len(); l < n {
+				n = l
+			}
+			b.execute(u, u.deferred.PopN(n), func() {
+				u.running = false
+				b.stepUnit(u)
+			})
+			u.running = true
+		}
+		return
+	}
+	u.running = true
+	b.execute(u, batch, func() {
+		u.running = false
+		b.stepUnit(u)
+	})
+}
+
+// gpuTime returns the GPU execution time of a batch. Plain units use the
+// unit profile; prefix groups charge the shared prefix once at full batch
+// size plus one suffix launch per member session present (§6.3) — cheaper
+// than the planning estimate when a batch holds few distinct members.
+func (b *Backend) gpuTime(u *unitState, batch []Request) time.Duration {
+	n := len(batch)
+	if u.Prefix == nil || u.Suffix == nil {
+		return u.Profile.BatchLatency(n)
+	}
+	perMember := make(map[string]int, 4)
+	for _, r := range batch {
+		perMember[r.Session]++
+	}
+	total := u.Prefix.BatchLatency(n)
+	for _, count := range perMember {
+		total += u.Suffix.BatchLatency(count)
+	}
+	// Never exceed the conservative combined estimate the scheduler and
+	// drop policies used.
+	if est := u.Profile.BatchLatency(n); total > est {
+		total = est
+	}
+	return total
+}
+
+// execute runs one batch: CPU preprocessing, GPU execution, CPU
+// postprocessing. With Overlap, preprocessing hides behind the previous
+// GPU batch (when warm) and postprocessing does not gate the next batch;
+// without it, all three serialize and the GPU idles during CPU work (§6.3
+// "Overlapping CPU and GPU computation").
+func (b *Backend) execute(u *unitState, batch []Request, done func()) {
+	n := len(batch)
+	b.batches++
+	b.items += uint64(n)
+	if b.cfg.OnBatch != nil {
+		b.cfg.OnBatch(b.ID, u.ID, batch)
+	}
+	gpu := b.gpuTime(u, batch)
+	pre := b.cpuTime(u.Profile.PreprocCPU, n)
+	post := b.cpuTime(u.Profile.PostprocCPU, n)
+	finish := func() {
+		for _, r := range batch {
+			b.complete(r, false)
+		}
+	}
+	if b.cfg.Overlap {
+		delay := time.Duration(0)
+		if !b.pipelineWarm() {
+			delay = pre
+		}
+		b.clock.After(delay, func() {
+			b.dev.Submit(gpu, func() {
+				b.lastGPUEnd = b.clock.Now()
+				// Postprocessing happens on the CPU pool, off the GPU's
+				// critical path: the next batch may start immediately.
+				b.clock.After(post, func() { finish() })
+				done()
+			})
+		})
+		return
+	}
+	b.clock.After(pre, func() {
+		b.dev.Submit(gpu, func() {
+			b.lastGPUEnd = b.clock.Now()
+			b.clock.After(post, func() {
+				finish()
+				done()
+			})
+		})
+	})
+}

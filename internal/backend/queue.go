@@ -1,0 +1,120 @@
+// Package backend implements the Nexus node runtime (§6.3): per-session
+// request queues, batch-aware dispatch with early-drop admission control,
+// duty-cycle round-robin execution of multiple sessions on one GPU,
+// overlapped CPU pre/post-processing, and prefix-batched execution of
+// specialized model families. It also provides the Clipper-like and
+// TF-Serving-like execution disciplines used as baselines in §7.
+package backend
+
+import (
+	"time"
+
+	"nexus/internal/workload"
+)
+
+// Request is an enqueued inference request.
+type Request = workload.Request
+
+// Queue is a FIFO of requests for one execution unit. Requests of a unit
+// share an SLO, so deadlines are non-decreasing in arrival order.
+type Queue struct {
+	items []Request
+}
+
+// Push appends a request.
+func (q *Queue) Push(r Request) { q.items = append(q.items, r) }
+
+// Len returns the queue length.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Head returns the oldest request without removing it.
+func (q *Queue) Head() (Request, bool) {
+	if len(q.items) == 0 {
+		return Request{}, false
+	}
+	return q.items[0], true
+}
+
+// PopN removes and returns the first n requests.
+func (q *Queue) PopN(n int) []Request {
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	out := make([]Request, n)
+	copy(out, q.items[:n])
+	q.items = q.items[:copy(q.items, q.items[n:])]
+	return out
+}
+
+// DropPolicy selects which queued requests to execute and which to drop
+// (§4.3, §6.3 "Adaptive Batching").
+type DropPolicy interface {
+	// Pick returns the batch to execute now and the requests dropped.
+	// target is the scheduler-assigned batch size; estimate(b) is the
+	// predicted completion latency of a batch of size b (queueing excluded).
+	// When the queue is non-empty, Pick must make progress: return a
+	// non-empty batch or drop at least one request.
+	Pick(q *Queue, now time.Duration, target int, estimate func(int) time.Duration) (batch, dropped []Request)
+	Name() string
+}
+
+// LazyDrop is the Clipper-style policy (§4.3): requests are dropped only
+// once their deadline is hopeless — already past, or sooner than even a
+// batch-of-one execution could finish — and the batch size is whatever the
+// earliest remaining request's budget allows.
+type LazyDrop struct{}
+
+// Name implements DropPolicy.
+func (LazyDrop) Name() string { return "lazy" }
+
+// Pick implements DropPolicy.
+func (LazyDrop) Pick(q *Queue, now time.Duration, target int, estimate func(int) time.Duration) (batch, dropped []Request) {
+	// Drop requests whose deadline cannot be met even alone.
+	minFinish := now + estimate(1)
+	expired := 0
+	for expired < len(q.items) && q.items[expired].Deadline < minFinish {
+		expired++
+	}
+	if expired > 0 {
+		dropped = q.PopN(expired)
+	}
+	if q.Len() == 0 {
+		return nil, dropped
+	}
+	// Size the batch by the head-of-line request's remaining budget.
+	budget := q.items[0].Deadline - now
+	b := 1
+	for b < target && b < q.Len() && estimate(b+1) <= budget {
+		b++
+	}
+	return q.PopN(b), dropped
+}
+
+// EarlyDrop is the Nexus policy (§6.3): slide a window of the target batch
+// size through the queue and drop the prefix of requests whose deadlines
+// would force a sub-optimal batch. It falls back to lazy behaviour when no
+// window fits, so it always makes progress.
+type EarlyDrop struct{}
+
+// Name implements DropPolicy.
+func (EarlyDrop) Name() string { return "early" }
+
+// Pick implements DropPolicy.
+func (EarlyDrop) Pick(q *Queue, now time.Duration, target int, estimate func(int) time.Duration) (batch, dropped []Request) {
+	if target < 1 {
+		target = 1
+	}
+	for i := 0; i < q.Len(); i++ {
+		w := target
+		if rest := q.Len() - i; rest < w {
+			w = rest
+		}
+		if q.items[i].Deadline >= now+estimate(w) {
+			dropped = q.PopN(i)
+			return q.PopN(w), dropped
+		}
+	}
+	// No request can anchor a full window; behave lazily on what is left.
+	lazyBatch, lazyDropped := LazyDrop{}.Pick(q, now, target, estimate)
+	return lazyBatch, lazyDropped
+}

@@ -1,0 +1,554 @@
+// Package cluster wires the full Nexus deployment together on the
+// simulation clock: an elastic backend pool, a frontend, the global
+// scheduler, workload generators, complex-query chaining, and metric
+// collection. It also instantiates the comparison systems of §7.2 —
+// Clipper-like and TF-Serving-like serving — and the "Nexus-parallel"
+// ablation of Figure 14, all as configurations of the same runtime with
+// different feature switches.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"nexus/internal/backend"
+	"nexus/internal/frontend"
+	"nexus/internal/globalsched"
+	"nexus/internal/gpusim"
+	"nexus/internal/metrics"
+	"nexus/internal/model"
+	"nexus/internal/profiler"
+	"nexus/internal/queryopt"
+	"nexus/internal/scheduler"
+	"nexus/internal/simclock"
+	"nexus/internal/trace"
+	"nexus/internal/workload"
+)
+
+// System identifies which serving system a deployment runs.
+type System string
+
+// The systems compared in §7.
+const (
+	Nexus         System = "nexus"
+	NexusParallel System = "nexus-parallel" // Figure 14 ablation
+	Clipper       System = "clipper"
+	TFServing     System = "tfserving"
+)
+
+// Features are the Nexus ablation switches (§7.3). They are ignored for
+// the baseline systems, whose behaviour is fixed.
+type Features struct {
+	PrefixBatch   bool // PB
+	Squishy       bool // SS
+	EarlyDrop     bool // ED
+	Overlap       bool // OL
+	QueryAnalysis bool // QA
+}
+
+// AllFeatures returns full Nexus.
+func AllFeatures() Features {
+	return Features{PrefixBatch: true, Squishy: true, EarlyDrop: true, Overlap: true, QueryAnalysis: true}
+}
+
+// Config describes a deployment.
+type Config struct {
+	System   System
+	Features Features
+	GPUs     int              // pool capacity
+	GPU      profiler.GPUType // device type (default GTX1080Ti)
+	Epoch    time.Duration    // control plane period (default 30s)
+	NetDelay time.Duration    // one-way frontend<->backend latency (>=0; -1 = default)
+	Seed     int64
+	// Warmup excludes the initial interval from statistics (model loads,
+	// pipeline fill). Default 2s.
+	Warmup time.Duration
+	// OnEpoch, when set, observes every control-plane epoch (telemetry).
+	OnEpoch func(epoch int, stats scheduler.MoveStats, gpusInUse int)
+	// FixedCluster treats the GPU pool as a fixed-size cluster whose spare
+	// capacity should be spread across plan nodes (the §7.3/§7.5 fixed
+	// 16-GPU experiments). Leave false for elastic deployments where GPU
+	// usage should track load (Figure 13).
+	FixedCluster bool
+	// TraceCapacity, when positive, records the last N request lifecycle
+	// events (arrivals, batch executions, completions, drops); read them
+	// via Deployment.Tracer.
+	TraceCapacity int
+	// DeferDropped switches Nexus to the paper's alternative service model
+	// (§5): requests that miss their deadline window run later at low
+	// priority instead of being discarded.
+	DeferDropped bool
+	// PlanningSlack overrides the control plane's SLO slack (0 = derive
+	// from the network delay; negative = no slack). For ablations.
+	PlanningSlack time.Duration
+	// Frontends is the number of data-plane frontend replicas requests are
+	// load-balanced across (§5's "distributed frontend"; default 1).
+	Frontends int
+}
+
+// Deployment is a running simulated cluster.
+type Deployment struct {
+	Clock    *simclock.Clock
+	Pool     *Pool
+	Sched    *globalsched.Scheduler
+	Recorder *metrics.Recorder
+
+	// Frontend is the first data-plane frontend (always present);
+	// Frontends holds every replica when Config.Frontends > 1.
+	Frontend  *frontend.Frontend
+	Frontends []*frontend.Frontend
+	nextFE    int
+
+	cfg      Config
+	rng      *rand.Rand
+	profiles map[string]*profiler.Profile
+	mdb      *model.DB
+
+	collecting bool
+	seq        uint64
+	queryTrack map[uint64]*queryInstance
+	queryMeta  map[string]*stageMeta // stage session ID -> meta
+
+	loads      []sessionLoad
+	queryLoads []queryLoad
+
+	// Interval series for Figure 13.
+	Arrivals *metrics.TimeSeries
+	BadEvts  *metrics.TimeSeries
+	GoodEvts *metrics.TimeSeries
+	GPUsUsed *metrics.TimeSeries
+
+	// Query-level outcomes (end-to-end).
+	queryStats map[string]*metrics.SessionStats
+
+	// ignored marks in-flight requests issued during warmup so their
+	// completions do not pollute statistics.
+	ignored map[uint64]struct{}
+
+	// stageSessions marks per-stage query sessions, which are excluded
+	// from the end-to-end BadRate/Goodput (queries are counted once, as
+	// whole-query outcomes).
+	stageSessions map[string]bool
+
+	// unroutable counts requests dropped because no route or unit existed
+	// when they arrived (admission-control drops at the frontend).
+	unroutable uint64
+
+	// tracer records request lifecycle events when enabled (nil = off).
+	tracer *trace.Tracer
+}
+
+type sessionLoad struct {
+	spec globalsched.SessionSpec
+	proc workload.Process
+}
+
+type queryLoad struct {
+	spec globalsched.QuerySpec
+	proc workload.Process
+}
+
+type stageMeta struct {
+	queryName string
+	children  []stageChild
+}
+
+type stageChild struct {
+	session string
+	gamma   float64
+	carry   float64 // fractional fan-out accumulator
+}
+
+type queryInstance struct {
+	queryName   string
+	deadline    time.Duration
+	outstanding int
+	bad         bool
+}
+
+// New creates a deployment.
+func New(cfg Config) (*Deployment, error) {
+	if cfg.GPUs < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 GPU")
+	}
+	if cfg.GPU == "" {
+		cfg.GPU = profiler.GTX1080Ti
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = globalsched.DefaultEpoch
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 2 * time.Second
+	}
+	mdb := model.Catalog()
+	d := &Deployment{
+		Clock:         simclock.New(),
+		Recorder:      metrics.NewRecorder(),
+		cfg:           cfg,
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		mdb:           mdb,
+		queryTrack:    make(map[uint64]*queryInstance),
+		queryMeta:     make(map[string]*stageMeta),
+		Arrivals:      metrics.NewTimeSeries(time.Second),
+		BadEvts:       metrics.NewTimeSeries(time.Second),
+		GoodEvts:      metrics.NewTimeSeries(time.Second),
+		GPUsUsed:      metrics.NewTimeSeries(time.Second),
+		queryStats:    make(map[string]*metrics.SessionStats),
+		ignored:       make(map[uint64]struct{}),
+		stageSessions: make(map[string]bool),
+	}
+	if cfg.TraceCapacity > 0 {
+		d.tracer = trace.New(cfg.TraceCapacity)
+	}
+	if err := d.rebuildProfiles(); err != nil {
+		return nil, err
+	}
+	beCfg, devMode := d.runtimeConfig()
+	if d.tracer != nil {
+		beCfg.OnBatch = func(backendID, unitID string, batch []backend.Request) {
+			for _, r := range batch {
+				d.tracer.Record(trace.Event{
+					At: d.Clock.Now(), Kind: trace.Execute, ReqID: r.ID,
+					Session: r.Session, Backend: backendID, Unit: unitID, Batch: len(batch),
+				})
+			}
+		}
+	}
+	d.Pool = NewPool(d.Clock, cfg.GPUs, cfg.GPU, devMode, beCfg, d.onRequestDone)
+	nFE := cfg.Frontends
+	if nFE < 1 {
+		nFE = 1
+	}
+	for i := 0; i < nFE; i++ {
+		fe := frontend.New(d.Clock, d.Pool.backends, cfg.NetDelay, func(req workload.Request) {
+			d.unroutable++
+			d.onRequestDone(req, true, d.Clock.Now())
+		})
+		d.Frontends = append(d.Frontends, fe)
+	}
+	d.Frontend = d.Frontends[0]
+	d.Sched = globalsched.New(d.Clock, d.Pool, d.Frontends, d.mdb, d.profiles, d.controlConfig())
+	return d, nil
+}
+
+// dispatch load-balances a request across the frontend replicas.
+func (d *Deployment) dispatch(req workload.Request) {
+	fe := d.Frontends[d.nextFE]
+	d.nextFE = (d.nextFE + 1) % len(d.Frontends)
+	fe.Dispatch(req)
+}
+
+// ModelDB exposes the deployment's model database, so callers can register
+// specialized variants before adding sessions.
+func (d *Deployment) ModelDB() *model.DB { return d.mdb }
+
+// RefreshProfiles re-derives profiles after the caller registered new
+// models (e.g. specialized families).
+func (d *Deployment) RefreshProfiles() error { return d.rebuildProfiles() }
+
+func (d *Deployment) rebuildProfiles() error {
+	pdb, err := profiler.CatalogProfiles(d.mdb)
+	if err != nil {
+		return err
+	}
+	if d.profiles == nil {
+		d.profiles = make(map[string]*profiler.Profile)
+	}
+	for _, id := range d.mdb.IDs() {
+		if p, err := pdb.Get(id, d.cfg.GPU); err == nil {
+			d.profiles[id] = p
+		}
+	}
+	return nil
+}
+
+// Tracer returns the deployment's lifecycle tracer (nil unless enabled
+// via Config.TraceCapacity).
+func (d *Deployment) Tracer() *trace.Tracer { return d.tracer }
+
+// runtimeConfig maps the system kind to backend behaviour (§7.2).
+func (d *Deployment) runtimeConfig() (backend.Config, gpusim.Mode) {
+	var policy backend.DropPolicy = backend.LazyDrop{}
+	switch d.cfg.System {
+	case Nexus, NexusParallel:
+		if d.cfg.Features.EarlyDrop {
+			policy = backend.EarlyDrop{}
+		}
+	}
+	switch d.cfg.System {
+	case Nexus:
+		return backend.Config{
+			Policy:       policy,
+			Overlap:      d.cfg.Features.Overlap,
+			Discipline:   backend.RoundRobin,
+			DeferDropped: d.cfg.DeferDropped,
+		}, gpusim.Exclusive
+	case NexusParallel:
+		return backend.Config{
+			Policy:       policy,
+			Overlap:      d.cfg.Features.Overlap,
+			Discipline:   backend.Parallel,
+			DeferDropped: d.cfg.DeferDropped,
+		}, gpusim.Shared
+	case Clipper:
+		// Independent containers per model interleaving on the GPU.
+		return backend.Config{
+			Policy:     backend.LazyDrop{},
+			Overlap:    false,
+			Discipline: backend.Parallel,
+		}, gpusim.Shared
+	case TFServing:
+		// One process executing models round-robin, no deadline awareness
+		// beyond a safe max batch, serial pre/post-processing.
+		return backend.Config{
+			Policy:     backend.LazyDrop{},
+			Overlap:    false,
+			Discipline: backend.RoundRobin,
+		}, gpusim.Exclusive
+	default:
+		return backend.Config{}, gpusim.Exclusive
+	}
+}
+
+// controlConfig maps the system kind to control-plane behaviour.
+func (d *Deployment) controlConfig() globalsched.Config {
+	beCfg, _ := d.runtimeConfig()
+	netDelay := d.cfg.NetDelay
+	if netDelay < 0 {
+		netDelay = frontend.DefaultNetDelay
+	}
+	spec, err := profiler.Spec(d.cfg.GPU)
+	if err != nil {
+		spec = profiler.Specs()[profiler.GTX1080Ti]
+	}
+	cfg := globalsched.Config{
+		Epoch:          d.cfg.Epoch,
+		Incremental:    true,
+		OnEpoch:        d.cfg.OnEpoch,
+		Sched:          scheduler.Config{GPUMemBytes: spec.MemBytes},
+		Overlap:        beCfg.Overlap,
+		CPUWorkers:     beCfg.CPUWorkers,
+		SpreadReplicas: d.cfg.FixedCluster,
+		// Slack for the dispatch hop plus event-granularity margin.
+		PlanningSlack: 2*netDelay + 2*time.Millisecond,
+	}
+	if d.cfg.PlanningSlack != 0 {
+		cfg.PlanningSlack = d.cfg.PlanningSlack
+	}
+	switch d.cfg.System {
+	case Nexus, NexusParallel:
+		cfg.QueryAnalysis = d.cfg.Features.QueryAnalysis
+		cfg.PrefixBatch = d.cfg.Features.PrefixBatch
+		cfg.Squishy = d.cfg.Features.Squishy
+		if !cfg.Squishy {
+			cfg.ObliviousGPUs = d.cfg.GPUs
+		}
+	case Clipper, TFServing:
+		// §7.2: batch-oblivious scheduler, even latency splits, whole-model
+		// granularity.
+		cfg.QueryAnalysis = false
+		cfg.PrefixBatch = false
+		cfg.Squishy = false
+		cfg.ObliviousGPUs = d.cfg.GPUs
+	}
+	return cfg
+}
+
+// AddSession adds a standalone session and its arrival process (nil proc =
+// uniform arrivals at the expected rate).
+func (d *Deployment) AddSession(spec globalsched.SessionSpec, proc workload.Process) error {
+	if err := d.Sched.AddSession(spec); err != nil {
+		return err
+	}
+	if proc == nil {
+		proc = workload.Uniform{Rate: spec.ExpectedRate}
+	}
+	d.loads = append(d.loads, sessionLoad{spec: spec, proc: proc})
+	return nil
+}
+
+// AddQuery adds a complex query load (nil proc = uniform arrivals at the
+// expected root rate). Stage fan-out follows the query's gammas.
+func (d *Deployment) AddQuery(spec globalsched.QuerySpec, proc workload.Process) error {
+	if err := d.Sched.AddQuery(spec); err != nil {
+		return err
+	}
+	if proc == nil {
+		proc = workload.Uniform{Rate: spec.ExpectedRate}
+	}
+	d.queryLoads = append(d.queryLoads, queryLoad{spec: spec, proc: proc})
+	d.indexQuery(spec)
+	return nil
+}
+
+// indexQuery records stage metadata for completion-driven fan-out.
+func (d *Deployment) indexQuery(spec globalsched.QuerySpec) {
+	q := spec.Query
+	var walk func(n *queryopt.Node)
+	walk = func(n *queryopt.Node) {
+		d.stageSessions[q.Name+"/"+n.Name] = true
+		meta := &stageMeta{queryName: q.Name}
+		for _, e := range n.Edges {
+			meta.children = append(meta.children, stageChild{
+				session: q.Name + "/" + e.Child.Name,
+				gamma:   e.Gamma,
+			})
+			walk(e.Child)
+		}
+		d.queryMeta[q.Name+"/"+n.Name] = meta
+	}
+	walk(q.Root)
+}
+
+// Run executes the deployment for the given duration of virtual time
+// (after warmup) and returns the end-to-end bad rate across standalone
+// sessions and queries.
+func (d *Deployment) Run(duration time.Duration) (float64, error) {
+	if err := d.Sched.RunEpoch(); err != nil {
+		return 0, err
+	}
+	d.Sched.Start()
+	horizon := d.cfg.Warmup + duration
+	// Statistics begin after warmup.
+	d.Clock.At(d.cfg.Warmup, func() { d.collecting = true })
+	// Start generators.
+	for _, l := range d.loads {
+		l := l
+		workload.Start(d.Clock, d.rng, l.spec.ID, l.spec.SLO, l.proc, horizon, func(r workload.Request) {
+			d.dispatchStandalone(r)
+		})
+	}
+	for _, ql := range d.queryLoads {
+		ql := ql
+		// The generator's SLO field is the whole-query SLO; per-stage
+		// deadlines are assigned at dispatch.
+		workload.Start(d.Clock, d.rng, ql.spec.Query.Name, ql.spec.Query.SLO, ql.proc, horizon, func(r workload.Request) {
+			d.startQuery(ql.spec, r)
+		})
+	}
+	// GPU usage sampling.
+	sampler := d.Clock.StartTicker(time.Second, func() {
+		d.GPUsUsed.Add(d.Clock.Now(), float64(d.Pool.InUse()))
+	})
+	d.Clock.RunUntil(horizon)
+	sampler.Stop()
+	d.Sched.Stop()
+	// Drain in-flight work so counts settle.
+	d.Clock.Run()
+	return d.BadRate(), nil
+}
+
+// BadRate returns the overall fraction of finished work that was bad:
+// standalone session requests plus whole-query outcomes. Query stage
+// invocations are folded into their query outcome, not counted separately.
+func (d *Deployment) BadRate() float64 {
+	sent, bad := d.totals()
+	if sent == 0 {
+		return 0
+	}
+	return float64(bad) / float64(sent)
+}
+
+// Goodput returns good completions per second of measured time: standalone
+// requests plus whole queries served within their SLOs.
+func (d *Deployment) Goodput(measured time.Duration) float64 {
+	sent, bad := d.totals()
+	return float64(sent-bad) / measured.Seconds()
+}
+
+func (d *Deployment) totals() (sent, bad uint64) {
+	for _, sid := range d.Recorder.SessionIDs() {
+		if d.stageSessions[sid] {
+			continue
+		}
+		s := d.Recorder.Session(sid)
+		sent += s.Sent
+		bad += s.Dropped + s.Missed
+	}
+	for _, qs := range d.queryStats {
+		sent += qs.Sent
+		bad += qs.Dropped + qs.Missed
+	}
+	return sent, bad
+}
+
+// QueryStats returns end-to-end outcomes for a query by name.
+func (d *Deployment) QueryStats(name string) *metrics.SessionStats {
+	qs, ok := d.queryStats[name]
+	if !ok {
+		qs = &metrics.SessionStats{}
+		d.queryStats[name] = qs
+	}
+	return qs
+}
+
+// Unroutable returns the number of frontend admission-control drops.
+func (d *Deployment) Unroutable() uint64 { return d.unroutable }
+
+// AvgGPUsUsed returns the mean sampled GPU usage.
+func (d *Deployment) AvgGPUsUsed() float64 {
+	n := d.GPUsUsed.Len()
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += d.GPUsUsed.Mean(i)
+	}
+	return sum / float64(n)
+}
+
+// nextID allocates a deployment-unique request ID.
+func (d *Deployment) nextID() uint64 {
+	d.seq++
+	return d.seq
+}
+
+func (d *Deployment) dispatchStandalone(r workload.Request) {
+	r.ID = d.nextID()
+	d.tracer.Record(trace.Event{At: d.Clock.Now(), Kind: trace.Arrive, ReqID: r.ID, Session: r.Session})
+	if d.collecting {
+		d.Recorder.Session(r.Session).Sent++
+		d.Arrivals.Add(d.Clock.Now(), 1)
+	} else {
+		// Still count it as in-flight work but not in stats: mark by
+		// tracking zero; simplest is to tag via map of ignored IDs.
+		d.ignored[r.ID] = struct{}{}
+	}
+	d.dispatch(r)
+}
+
+// onRequestDone is the single completion sink for all backends and the
+// frontend's unroutable path.
+func (d *Deployment) onRequestDone(req workload.Request, dropped bool, at time.Duration) {
+	if _, skip := d.ignored[req.ID]; skip {
+		delete(d.ignored, req.ID)
+		return
+	}
+	if qi, ok := d.queryTrack[req.ID]; ok {
+		delete(d.queryTrack, req.ID)
+		d.stageDone(qi, req, dropped, at)
+		return
+	}
+	s := d.Recorder.Session(req.Session)
+	if dropped {
+		d.tracer.Record(trace.Event{At: at, Kind: trace.Drop, ReqID: req.ID, Session: req.Session, Detail: "deadline"})
+	} else {
+		d.tracer.Record(trace.Event{At: at, Kind: trace.Complete, ReqID: req.ID, Session: req.Session})
+	}
+	switch {
+	case dropped:
+		s.Dropped++
+		d.BadEvts.Add(at, 1)
+	case at > req.Deadline:
+		s.Missed++
+		s.Completed++
+		s.Latency.Record(at - req.Arrival)
+		d.BadEvts.Add(at, 1)
+	default:
+		s.Completed++
+		s.Latency.Record(at - req.Arrival)
+		d.GoodEvts.Add(at, 1)
+	}
+}

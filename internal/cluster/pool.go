@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"fmt"
+
+	"nexus/internal/backend"
+	"nexus/internal/gpusim"
+	"nexus/internal/profiler"
+	"nexus/internal/simclock"
+)
+
+// Pool is the cluster resource manager the global scheduler acquires
+// backend GPUs from (standing in for Mesos / Azure Scale Sets, §5). It has
+// a fixed capacity (the experiment's cluster size); released backends are
+// recycled.
+type Pool struct {
+	clock    *simclock.Clock
+	capacity int
+	gpu      profiler.GPUType
+	mode     gpusim.Mode
+	beCfg    backend.Config
+	onDone   backend.CompletionFunc
+
+	next     int
+	backends map[string]*backend.Backend // in use; shared with the frontend
+	free     []*backend.Backend
+}
+
+// NewPool creates a pool of up to capacity GPUs of the given type.
+func NewPool(clock *simclock.Clock, capacity int, gpu profiler.GPUType, mode gpusim.Mode,
+	beCfg backend.Config, onDone backend.CompletionFunc) *Pool {
+	return &Pool{
+		clock: clock, capacity: capacity, gpu: gpu, mode: mode,
+		beCfg: beCfg, onDone: onDone,
+		backends: make(map[string]*backend.Backend),
+	}
+}
+
+// Acquire implements globalsched.Pool.
+func (p *Pool) Acquire() (string, *backend.Backend, error) {
+	if len(p.free) > 0 {
+		be := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		p.backends[be.ID] = be
+		return be.ID, be, nil
+	}
+	if len(p.backends) >= p.capacity {
+		return "", nil, fmt.Errorf("cluster: pool exhausted (%d/%d GPUs in use)", len(p.backends), p.capacity)
+	}
+	id := fmt.Sprintf("be%d", p.next)
+	p.next++
+	dev := gpusim.New(p.clock, "gpu-"+id, p.gpu, p.mode)
+	be := backend.New(id, p.clock, dev, p.beCfg, p.onDone)
+	p.backends[id] = be
+	return id, be, nil
+}
+
+// Release implements globalsched.Pool.
+func (p *Pool) Release(id string) {
+	if be, ok := p.backends[id]; ok {
+		delete(p.backends, id)
+		p.free = append(p.free, be)
+	}
+}
+
+// Get implements globalsched.Pool.
+func (p *Pool) Get(id string) *backend.Backend { return p.backends[id] }
+
+// InUse implements globalsched.Pool.
+func (p *Pool) InUse() int { return len(p.backends) }
+
+// Capacity returns the pool's GPU capacity.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// TotalBusy sums busy time across in-use backends.
+func (p *Pool) TotalBusy() (busy int64) {
+	for _, be := range p.backends {
+		busy += int64(be.Device().BusyTime())
+	}
+	return busy
+}

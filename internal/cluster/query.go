@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"time"
+
+	"nexus/internal/globalsched"
+	"nexus/internal/trace"
+	"nexus/internal/workload"
+)
+
+// startQuery begins one end-to-end query: dispatch the root stage and
+// track the instance until every spawned stage resolves.
+func (d *Deployment) startQuery(spec globalsched.QuerySpec, arrival workload.Request) {
+	q := spec.Query
+	rootSession := q.Name + "/" + q.Root.Name
+	qi := &queryInstance{
+		queryName:   q.Name,
+		deadline:    arrival.Arrival + q.SLO,
+		outstanding: 0,
+	}
+	if d.collecting {
+		d.QueryStats(q.Name).Sent++
+		d.Arrivals.Add(d.Clock.Now(), 1)
+	} else {
+		qi.queryName = "" // warmup instance: not measured
+	}
+	d.dispatchStage(qi, rootSession)
+}
+
+// dispatchStage sends one stage invocation of a query instance. The
+// request carries the whole-query deadline: per-stage latency budgets are
+// a planning construct for provisioning (§6.2), while the data plane drops
+// a stage invocation only when the query itself can no longer make it —
+// slack left over by fast upstream stages absorbs the bursts that
+// downstream stages see when a parent batch completes.
+func (d *Deployment) dispatchStage(qi *queryInstance, session string) {
+	req := workload.Request{
+		ID:       d.nextID(),
+		Session:  session,
+		Arrival:  d.Clock.Now(),
+		Deadline: qi.deadline,
+	}
+	d.tracer.Record(trace.Event{At: d.Clock.Now(), Kind: trace.Arrive, ReqID: req.ID, Session: session})
+	qi.outstanding++
+	d.queryTrack[req.ID] = qi
+	d.dispatch(req)
+}
+
+// stageDone handles completion of one stage invocation.
+func (d *Deployment) stageDone(qi *queryInstance, req workload.Request, dropped bool, at time.Duration) {
+	qi.outstanding--
+	if dropped {
+		d.tracer.Record(trace.Event{At: at, Kind: trace.Drop, ReqID: req.ID, Session: req.Session, Detail: "deadline"})
+	} else {
+		d.tracer.Record(trace.Event{At: at, Kind: trace.Complete, ReqID: req.ID, Session: req.Session})
+	}
+	// Per-stage accounting (stage sessions also show up in the recorder).
+	if qi.queryName != "" {
+		s := d.Recorder.Session(req.Session)
+		s.Sent++
+		switch {
+		case dropped:
+			s.Dropped++
+		case at > req.Deadline:
+			s.Missed++
+			s.Completed++
+			s.Latency.Record(at - req.Arrival)
+		default:
+			s.Completed++
+			s.Latency.Record(at - req.Arrival)
+		}
+	}
+	if dropped {
+		qi.bad = true
+	} else {
+		// Fan out to children; gamma is fractional, accumulated per stage
+		// via a deterministic carry so long-run fan-out matches exactly.
+		if meta, ok := d.queryMeta[req.Session]; ok {
+			for ci := range meta.children {
+				n := d.fanOut(req.Session, ci)
+				for k := 0; k < n; k++ {
+					d.dispatchStage(qi, meta.children[ci].session)
+				}
+			}
+		}
+		if at > qi.deadline {
+			qi.bad = true
+		}
+	}
+	if qi.outstanding == 0 {
+		d.finishQuery(qi)
+	}
+}
+
+// fanOut returns how many child invocations this completion spawns,
+// carrying the fractional part forward deterministically.
+func (d *Deployment) fanOut(session string, childIdx int) int {
+	meta := d.queryMeta[session]
+	c := &meta.children[childIdx]
+	c.carry += c.gamma
+	n := int(c.carry)
+	c.carry -= float64(n)
+	return n
+}
+
+// finishQuery records the end-to-end outcome.
+func (d *Deployment) finishQuery(qi *queryInstance) {
+	if qi.queryName == "" {
+		return // warmup instance, not measured
+	}
+	qs := d.QueryStats(qi.queryName)
+	qs.Completed++
+	if qi.bad {
+		qs.Missed++
+		d.BadEvts.Add(d.Clock.Now(), 1)
+	} else {
+		d.GoodEvts.Add(d.Clock.Now(), 1)
+	}
+}

@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nexus/internal/backend"
+	"nexus/internal/globalsched"
+	"nexus/internal/gpusim"
+	"nexus/internal/model"
+	"nexus/internal/profiler"
+	"nexus/internal/queryopt"
+	"nexus/internal/simclock"
+	"nexus/internal/workload"
+)
+
+// TestAllSystemsServe smoke-tests every system kind end to end at an easy
+// load: all must serve with a low bad rate.
+func TestAllSystemsServe(t *testing.T) {
+	for _, sys := range []System{Nexus, NexusParallel, Clipper, TFServing} {
+		sys := sys
+		t.Run(string(sys), func(t *testing.T) {
+			d, err := New(Config{System: sys, Features: AllFeatures(), GPUs: 4, Seed: 3, Epoch: 10 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.AddSession(globalsched.SessionSpec{
+				ID: "s", ModelID: model.GoogLeNetCar, SLO: 100 * time.Millisecond, ExpectedRate: 100,
+			}, nil); err != nil {
+				t.Fatal(err)
+			}
+			bad, err := d.Run(10 * time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bad > 0.02 {
+				t.Fatalf("%s bad rate %.4f at easy load", sys, bad)
+			}
+			if d.Recorder.Session("s").Sent < 900 {
+				t.Fatalf("%s served only %d requests", sys, d.Recorder.Session("s").Sent)
+			}
+		})
+	}
+}
+
+// TestFixedClusterSpreadsAndImprovesBursts: with a fixed cluster, spreading
+// spare GPUs absorbs Poisson bursts better than leaving them idle.
+func TestFixedClusterSpreads(t *testing.T) {
+	run := func(fixed bool) (float64, float64) {
+		d, err := New(Config{
+			System: Nexus, Features: AllFeatures(), GPUs: 8, Seed: 5,
+			Epoch: 10 * time.Second, FixedCluster: fixed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AddSession(globalsched.SessionSpec{
+			ID: "s", ModelID: model.InceptionV3, SLO: 60 * time.Millisecond, ExpectedRate: 2500,
+		}, workload.Poisson{Rate: 2500}); err != nil {
+			t.Fatal(err)
+		}
+		bad, err := d.Run(15 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bad, d.AvgGPUsUsed()
+	}
+	badElastic, gpusElastic := run(false)
+	badFixed, gpusFixed := run(true)
+	if gpusFixed <= gpusElastic {
+		t.Fatalf("fixed cluster did not use more GPUs: %.1f vs %.1f", gpusFixed, gpusElastic)
+	}
+	if badFixed > badElastic+0.001 {
+		t.Fatalf("spreading worsened bad rate: %.4f vs %.4f", badFixed, badElastic)
+	}
+}
+
+// TestDeferDroppedDeployment: cluster-level defer mode turns burst drops
+// into late completions.
+func TestDeferDroppedDeployment(t *testing.T) {
+	run := func(deferMode bool) (dropped, missed uint64) {
+		d, err := New(Config{
+			System: Nexus, Features: AllFeatures(), GPUs: 1, Seed: 9,
+			Epoch: 10 * time.Second, DeferDropped: deferMode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := workload.Burst(500, 1800, 8*time.Second, 12*time.Second)
+		if err := d.AddSession(globalsched.SessionSpec{
+			ID: "s", ModelID: model.InceptionV3, SLO: 100 * time.Millisecond, ExpectedRate: 500,
+		}, workload.Modulated{RateAt: sched.RateAt}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Run(20 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		st := d.Recorder.Session("s")
+		return st.Dropped, st.Missed
+	}
+	drop0, _ := run(false)
+	drop1, miss1 := run(true)
+	if drop0 == 0 {
+		t.Fatal("setup: burst should cause drops without defer")
+	}
+	if drop1 >= drop0 {
+		t.Fatalf("defer did not reduce drops: %d vs %d", drop1, drop0)
+	}
+	if miss1 == 0 {
+		t.Fatal("defer mode produced no late completions")
+	}
+}
+
+// TestManySessionsManyModels drives a wide, mixed deployment end to end.
+func TestManySessionsManyModels(t *testing.T) {
+	d, err := New(Config{System: Nexus, Features: AllFeatures(), GPUs: 24, Seed: 11, Epoch: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []string{
+		model.LeNet5, model.VGG7, model.ResNet50, model.InceptionV3,
+		model.GoogLeNetCar, model.VGGFace, model.TextCRNN, model.GazeNet,
+	}
+	slos := []time.Duration{60, 100, 150, 250}
+	for i := 0; i < 24; i++ {
+		if err := d.AddSession(globalsched.SessionSpec{
+			ID:           fmt.Sprintf("s%02d", i),
+			ModelID:      models[i%len(models)],
+			SLO:          slos[i%len(slos)] * time.Millisecond,
+			ExpectedRate: float64(20 + 10*i),
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad, err := d.Run(15 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad > 0.01 {
+		t.Fatalf("bad rate %.4f on the wide mix", bad)
+	}
+	for i := 0; i < 24; i++ {
+		if d.Recorder.Session(fmt.Sprintf("s%02d", i)).Sent == 0 {
+			t.Fatalf("session s%02d starved", i)
+		}
+	}
+}
+
+// TestDeepQueryChain runs the 5-stage logo-like chain end to end.
+func TestDeepQueryChain(t *testing.T) {
+	d, err := New(Config{System: Nexus, Features: AllFeatures(), GPUs: 16, Seed: 13, Epoch: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddQuery(globalsched.QuerySpec{
+		Query:        logoLikeQuery(),
+		ExpectedRate: 10,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := d.Run(20 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad > 0.05 {
+		t.Fatalf("deep chain bad rate %.4f", bad)
+	}
+	qs := d.QueryStats("deep")
+	if qs.Sent == 0 || qs.Completed != qs.Sent {
+		t.Fatalf("query accounting off: %+v", qs)
+	}
+}
+
+func logoLikeQuery() *queryopt.Query {
+	return &queryopt.Query{
+		Name: "deep", SLO: time.Second,
+		Root: &queryopt.Node{Name: "s1", ModelID: model.SSD, Edges: []queryopt.Edge{
+			{Gamma: 2, Child: &queryopt.Node{Name: "s2", ModelID: model.OpenPose, Edges: []queryopt.Edge{
+				{Gamma: 0.8, Child: &queryopt.Node{Name: "s3", ModelID: model.InceptionV3, Edges: []queryopt.Edge{
+					{Gamma: 0.5, Child: &queryopt.Node{Name: "s4", ModelID: model.TextCRNN, Edges: []queryopt.Edge{
+						{Gamma: 1, Child: &queryopt.Node{Name: "s5", ModelID: model.LeNet5}},
+					}}},
+				}}},
+			}}},
+		}},
+	}
+}
+
+// TestDistributedFrontends load-balances across multiple frontends; rate
+// observation still aggregates correctly at the control plane.
+func TestDistributedFrontends(t *testing.T) {
+	d, err := New(Config{
+		System: Nexus, Features: AllFeatures(), GPUs: 4, Seed: 3,
+		Epoch: 10 * time.Second, Frontends: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Frontends) != 3 {
+		t.Fatalf("frontends = %d", len(d.Frontends))
+	}
+	if err := d.AddSession(globalsched.SessionSpec{
+		ID: "s", ModelID: model.ResNet50, SLO: 100 * time.Millisecond, ExpectedRate: 600,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := d.Run(15 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad > 0.01 {
+		t.Fatalf("bad rate %.4f with 3 frontends", bad)
+	}
+	// The scale-up path (observed-rate aggregation across frontends) must
+	// keep serving the full rate: p99 within SLO.
+	st := d.Recorder.Session("s")
+	if p99 := st.Latency.Quantile(0.99); p99 > 100*time.Millisecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+}
+
+// TestDeterminism: identical seeds reproduce identical statistics; a
+// different seed produces a different trajectory. This is the property all
+// experiment reproducibility rests on.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) (uint64, uint64, time.Duration) {
+		d, err := New(Config{System: Nexus, Features: AllFeatures(), GPUs: 4, Seed: seed, Epoch: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AddSession(globalsched.SessionSpec{
+			ID: "s", ModelID: model.InceptionV3, SLO: 100 * time.Millisecond, ExpectedRate: 900,
+		}, workload.Poisson{Rate: 900}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Run(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		st := d.Recorder.Session("s")
+		return st.Sent, st.Good(), st.Latency.Quantile(0.99)
+	}
+	s1, g1, p1 := run(42)
+	s2, g2, p2 := run(42)
+	if s1 != s2 || g1 != g2 || p1 != p2 {
+		t.Fatalf("same seed diverged: (%d,%d,%v) vs (%d,%d,%v)", s1, g1, p1, s2, g2, p2)
+	}
+	s3, _, _ := run(43)
+	if s3 == s1 {
+		t.Fatal("different seeds produced identical arrival counts (suspicious)")
+	}
+}
+
+func TestPoolRecyclesReleasedBackends(t *testing.T) {
+	clock := simclock.New()
+	pool := NewPool(clock, 2, profiler.GTX1080Ti, gpusim.Exclusive, backend.Config{}, nil)
+	id1, _, err := pool.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, _, err := pool.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pool.Acquire(); err == nil {
+		t.Fatal("over-capacity acquire succeeded")
+	}
+	pool.Release(id1)
+	if pool.InUse() != 1 {
+		t.Fatalf("InUse = %d", pool.InUse())
+	}
+	id3, be3, err := pool.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 != id1 {
+		t.Fatalf("recycled id = %s, want %s", id3, id1)
+	}
+	if be3 == nil || pool.Get(id2) == nil {
+		t.Fatal("backends lost")
+	}
+	if pool.Capacity() != 2 {
+		t.Fatalf("Capacity = %d", pool.Capacity())
+	}
+}

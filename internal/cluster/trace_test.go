@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"nexus/internal/globalsched"
+	"nexus/internal/model"
+	"nexus/internal/trace"
+)
+
+func TestTracingCapturesLifecycle(t *testing.T) {
+	d, err := New(Config{
+		System: Nexus, Features: AllFeatures(), GPUs: 2, Seed: 1,
+		Epoch: 10 * time.Second, TraceCapacity: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddSession(globalsched.SessionSpec{
+		ID: "s", ModelID: model.GoogLeNetCar, SLO: 100 * time.Millisecond, ExpectedRate: 50,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tr := d.Tracer()
+	if tr == nil {
+		t.Fatal("tracer not enabled")
+	}
+	sum := tr.Summary()
+	if sum[trace.Arrive] == 0 || sum[trace.Execute] == 0 || sum[trace.Complete] == 0 {
+		t.Fatalf("lifecycle events missing: %v", sum)
+	}
+	// Every completed request retained in the window has a positive latency.
+	for id, lat := range tr.RequestLatency() {
+		if lat <= 0 {
+			t.Fatalf("request %d latency %v", id, lat)
+		}
+	}
+}
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	d, err := New(Config{System: Nexus, Features: AllFeatures(), GPUs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tracer() != nil {
+		t.Fatal("tracer should be nil unless enabled")
+	}
+}

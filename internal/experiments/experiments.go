@@ -1,0 +1,126 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2, §4, §7) on the simulated cluster. Each experiment
+// produces a Table whose rows mirror what the paper reports; the bench
+// harness (bench_test.go) and the nexus-bench CLI both dispatch into the
+// registry here.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i]
+			}
+			fmt.Fprintf(&sb, "%-*s", pad+2, c)
+		}
+		fmt.Fprintln(w, " ", strings.TrimRight(sb.String(), " "))
+	}
+	printRow(t.Header)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+// Cell finds the value at (row label, column name); the row label is the
+// first cell. Returns "" when absent.
+func (t *Table) Cell(rowLabel, col string) string {
+	ci := -1
+	for i, h := range t.Header {
+		if h == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return ""
+	}
+	for _, row := range t.Rows {
+		if len(row) > ci && row[0] == rowLabel {
+			return row[ci]
+		}
+	}
+	return ""
+}
+
+// Experiment is one registry entry.
+type Experiment struct {
+	ID          string
+	Description string
+	// Run executes the experiment. short trades precision for speed
+	// (shorter simulations, coarser goodput searches) and is what the
+	// benchmark harness uses.
+	Run func(short bool) (*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns an experiment by ID.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown id %q (try List)", id)
+	}
+	return e, nil
+}
+
+// List returns all experiments sorted by ID.
+func List() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

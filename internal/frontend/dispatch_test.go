@@ -1,0 +1,78 @@
+package frontend
+
+import (
+	"testing"
+	"time"
+
+	"nexus/internal/workload"
+)
+
+func TestDispatchAfterTableSwap(t *testing.T) {
+	clock, backends, fe, unroutable := setup(t, 2)
+	if err := fe.SetTable(RoutingTable{"s": {{BackendID: "a", UnitID: "u", Weight: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntil(time.Second)
+	fe.Dispatch(workload.Request{ID: 1, Session: "s", Arrival: clock.Now(), Deadline: clock.Now() + time.Hour})
+	// Swap the table to backend b; subsequent requests go there.
+	if err := fe.SetTable(RoutingTable{"s": {{BackendID: "b", UnitID: "u", Weight: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	fe.Dispatch(workload.Request{ID: 2, Session: "s", Arrival: clock.Now(), Deadline: clock.Now() + time.Hour})
+	clock.Run()
+	if backends["a"].Device().BusyTime() == 0 || backends["b"].Device().BusyTime() == 0 {
+		t.Fatal("both backends should have served one request across the swap")
+	}
+	if *unroutable != 0 {
+		t.Fatalf("unroutable = %d", *unroutable)
+	}
+}
+
+func TestDispatchToRemovedUnitCountsUnroutable(t *testing.T) {
+	clock, backends, fe, unroutable := setup(t, 1)
+	if err := fe.SetTable(RoutingTable{"s": {{BackendID: "a", UnitID: "u", Weight: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntil(time.Second)
+	// Remove the unit between routing and enqueue: the in-flight dispatch
+	// must surface as an admission drop rather than vanish.
+	if err := backends["a"].Configure(nil); err != nil {
+		t.Fatal(err)
+	}
+	fe.Dispatch(workload.Request{ID: 1, Session: "s", Arrival: clock.Now(), Deadline: clock.Now() + time.Hour})
+	clock.Run()
+	if *unroutable != 1 {
+		t.Fatalf("unroutable = %d, want 1", *unroutable)
+	}
+}
+
+func TestObservedRatesMultipleSessions(t *testing.T) {
+	clock, _, fe, _ := setup(t, 1)
+	if err := fe.SetTable(RoutingTable{
+		"x": {{BackendID: "a", UnitID: "u", Weight: 1}},
+		"y": {{BackendID: "a", UnitID: "u", Weight: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntil(time.Second)
+	fe.ObservedRates()
+	for i := 0; i < 20; i++ {
+		fe.Dispatch(workload.Request{ID: uint64(i), Session: "x", Arrival: clock.Now(), Deadline: clock.Now() + time.Hour})
+	}
+	for i := 0; i < 10; i++ {
+		fe.Dispatch(workload.Request{ID: uint64(100 + i), Session: "y", Arrival: clock.Now(), Deadline: clock.Now() + time.Hour})
+	}
+	clock.RunUntil(clock.Now() + 2*time.Second)
+	rates := fe.ObservedRates()
+	if rates["x"] != 10 || rates["y"] != 5 {
+		t.Fatalf("rates = %v, want x:10 y:5", rates)
+	}
+}
+
+func TestNegativeNetDelayUsesDefault(t *testing.T) {
+	_, _, _, _ = setup(t, 1) // ensure helpers compile
+	fe := New(nil, nil, -1, nil)
+	if fe.NetDelay() != DefaultNetDelay {
+		t.Fatalf("NetDelay = %v, want default", fe.NetDelay())
+	}
+}

@@ -1,0 +1,174 @@
+// Package frontend implements the Nexus data-plane frontend (§5): it holds
+// the routing table published by the global scheduler, dispatches each
+// request to a backend hosting its session (weighted by the plan's rate
+// shares), and maintains the per-session request-rate statistics the
+// control plane uses for epoch scheduling.
+package frontend
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nexus/internal/backend"
+	"nexus/internal/simclock"
+	"nexus/internal/workload"
+)
+
+// Route is one backend placement of a session.
+type Route struct {
+	BackendID string
+	UnitID    string
+	Weight    float64 // proportional share of the session's traffic
+}
+
+// RoutingTable maps session IDs to their routes.
+type RoutingTable map[string][]Route
+
+// Validate checks weights.
+func (rt RoutingTable) Validate() error {
+	for sid, routes := range rt {
+		if len(routes) == 0 {
+			return fmt.Errorf("frontend: session %s has no routes", sid)
+		}
+		for _, r := range routes {
+			if r.Weight <= 0 {
+				return fmt.Errorf("frontend: session %s route to %s has weight %v", sid, r.BackendID, r.Weight)
+			}
+			if r.BackendID == "" || r.UnitID == "" {
+				return fmt.Errorf("frontend: session %s has incomplete route", sid)
+			}
+		}
+	}
+	return nil
+}
+
+// Frontend dispatches requests to backends.
+type Frontend struct {
+	clock    *simclock.Clock
+	backends map[string]*backend.Backend
+	netDelay time.Duration
+
+	table RoutingTable
+	wrr   map[string][]float64 // smooth weighted round-robin state per session
+
+	// onUnroutable observes requests with no route (counted as drops).
+	onUnroutable func(req workload.Request)
+
+	// Rate observation for the control plane.
+	counts     map[string]uint64
+	windowFrom time.Duration
+}
+
+// DefaultNetDelay is the one-way frontend<->backend dispatch latency.
+const DefaultNetDelay = 500 * time.Microsecond
+
+// New creates a frontend over the given backends. netDelay < 0 uses the
+// default; 0 is allowed (ideal network).
+func New(clock *simclock.Clock, backends map[string]*backend.Backend, netDelay time.Duration,
+	onUnroutable func(req workload.Request)) *Frontend {
+	if netDelay < 0 {
+		netDelay = DefaultNetDelay
+	}
+	return &Frontend{
+		clock:        clock,
+		backends:     backends,
+		netDelay:     netDelay,
+		table:        RoutingTable{},
+		wrr:          make(map[string][]float64),
+		onUnroutable: onUnroutable,
+		counts:       make(map[string]uint64),
+	}
+}
+
+// NetDelay returns the configured one-way dispatch latency.
+func (f *Frontend) NetDelay() time.Duration { return f.netDelay }
+
+// SetTable installs a new routing table (control plane push, §5).
+func (f *Frontend) SetTable(rt RoutingTable) error {
+	if err := rt.Validate(); err != nil {
+		return err
+	}
+	for _, routes := range rt {
+		for _, r := range routes {
+			if _, ok := f.backends[r.BackendID]; !ok {
+				return fmt.Errorf("frontend: route to unknown backend %s", r.BackendID)
+			}
+		}
+	}
+	f.table = rt
+	f.wrr = make(map[string][]float64)
+	return nil
+}
+
+// Dispatch routes a request to a backend. Requests for sessions without a
+// route are reported unroutable (the admission-control drop path).
+func (f *Frontend) Dispatch(req workload.Request) {
+	routes, ok := f.table[req.Session]
+	if !ok || len(routes) == 0 {
+		if f.onUnroutable != nil {
+			f.onUnroutable(req)
+		}
+		return
+	}
+	f.counts[req.Session]++
+	r := f.pick(req.Session, routes)
+	be := f.backends[r.BackendID]
+	unitID := r.UnitID
+	f.clock.After(f.netDelay, func() {
+		if err := be.Enqueue(unitID, req); err != nil {
+			// The unit was removed by a reconfiguration in flight; count
+			// the request as unroutable.
+			if f.onUnroutable != nil {
+				f.onUnroutable(req)
+			}
+		}
+	})
+}
+
+// pick implements smooth weighted round-robin, which spreads a session's
+// requests across its replicas proportionally and deterministically.
+func (f *Frontend) pick(session string, routes []Route) Route {
+	state, ok := f.wrr[session]
+	if !ok || len(state) != len(routes) {
+		state = make([]float64, len(routes))
+		f.wrr[session] = state
+	}
+	var total float64
+	best := 0
+	for i, r := range routes {
+		state[i] += r.Weight
+		total += r.Weight
+		if state[i] > state[best] {
+			best = i
+		}
+	}
+	state[best] -= total
+	return routes[best]
+}
+
+// ObservedRates returns each session's request rate (req/s) since the last
+// call, then resets the window. This feeds epoch scheduling ("load
+// statistics from the runtime", §5).
+func (f *Frontend) ObservedRates() map[string]float64 {
+	elapsed := (f.clock.Now() - f.windowFrom).Seconds()
+	rates := make(map[string]float64, len(f.counts))
+	if elapsed > 0 {
+		for sid, n := range f.counts {
+			rates[sid] = float64(n) / elapsed
+		}
+	}
+	f.counts = make(map[string]uint64)
+	f.windowFrom = f.clock.Now()
+	return rates
+}
+
+// Sessions returns the sessions currently routable, sorted.
+func (f *Frontend) Sessions() []string {
+	out := make([]string, 0, len(f.table))
+	for sid := range f.table {
+		out = append(out, sid)
+	}
+	sort.Strings(out)
+	return out
+}

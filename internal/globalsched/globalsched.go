@@ -1,0 +1,883 @@
+// Package globalsched implements the Nexus control plane (§5): the global
+// scheduler that, every epoch, (1) re-derives latency splits for complex
+// queries from observed workload statistics, (2) combines specialized
+// models that share a prefix and SLO into prefix-batched units, (3) runs
+// profile-guided squishy bin packing (or the batch-oblivious baseline), and
+// (4) applies the plan — acquiring and releasing backends, loading models,
+// and publishing routing tables to the frontends.
+package globalsched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nexus/internal/backend"
+	"nexus/internal/frontend"
+	"nexus/internal/model"
+	"nexus/internal/profiler"
+	"nexus/internal/queryopt"
+	"nexus/internal/scheduler"
+	"nexus/internal/simclock"
+)
+
+// Pool grants and reclaims backend GPUs (the cluster resource manager the
+// global scheduler talks to, §5).
+type Pool interface {
+	// Acquire returns a ready backend or an error when at capacity.
+	Acquire() (string, *backend.Backend, error)
+	// Release returns a backend to the pool.
+	Release(id string)
+	// Get returns an acquired backend by ID.
+	Get(id string) *backend.Backend
+	// InUse returns the number of acquired backends.
+	InUse() int
+	// Capacity returns the total number of grantable backends.
+	Capacity() int
+}
+
+// SessionSpec declares a standalone session (model + SLO).
+type SessionSpec struct {
+	ID           string
+	ModelID      string
+	SLO          time.Duration
+	ExpectedRate float64 // used until real traffic is observed
+}
+
+// QuerySpec declares a complex query with an expected root request rate.
+type QuerySpec struct {
+	Query        *queryopt.Query
+	ExpectedRate float64
+}
+
+// Config selects control-plane behaviour; the booleans are the §7.3
+// ablation switches.
+type Config struct {
+	Epoch         time.Duration // epoch length; 0 = 30s (§5)
+	QueryAnalysis bool          // QA: DP latency splits vs even split
+	PrefixBatch   bool          // PB: combine shared-prefix sessions
+	Squishy       bool          // SS: squishy packing vs batch-oblivious
+	Incremental   bool          // reuse the previous plan across epochs
+	// ObliviousGPUs fixes the cluster size for the batch-oblivious
+	// baseline (which cannot size itself). Required when !Squishy.
+	ObliviousGPUs int
+	// Headroom over-provisions for observed rates (default 1.1).
+	Headroom float64
+	// RateSmoothing is the EWMA weight of the newest observation (0..1,
+	// default 0.7).
+	RateSmoothing float64
+	// MinPrefixLayers is the smallest shared prefix worth combining
+	// (default: half the model depth).
+	MinPrefixLayers int
+	Sched           scheduler.Config
+	// Epsilon for the query-split DP (0 = queryopt.DefaultEpsilon).
+	Epsilon time.Duration
+	// Overlap mirrors the runtime's CPU/GPU overlap setting: when false,
+	// preprocessing is charged against the SLO during planning too.
+	Overlap bool
+	// CPUWorkers is the runtime's preprocessing pool size (default 5).
+	CPUWorkers int
+	// PlanningSlack is subtracted from every SLO before planning to cover
+	// costs the batching profile does not capture (network hops, dispatch
+	// granularity). Default 3ms.
+	PlanningSlack time.Duration
+	// StageHeadroom over-provisions non-root query stages (default 1.25):
+	// their arrivals are batch-correlated bursts from upstream stages, not
+	// smooth processes, so rate-proportional provisioning under-serves them.
+	StageHeadroom float64
+	// OnEpoch, when set, observes every completed epoch (for telemetry).
+	OnEpoch func(epoch int, stats scheduler.MoveStats, gpusInUse int)
+	// SpreadReplicas replicates plan nodes onto spare pool capacity so a
+	// fixed-size cluster runs at full width. Leave false for elastic
+	// deployments, where GPUs-in-use should track load (Figure 13).
+	SpreadReplicas bool
+}
+
+// DefaultPlanningSlack covers round-trip dispatch latency plus margin.
+const DefaultPlanningSlack = 3 * time.Millisecond
+
+// DefaultEpoch matches the paper's epoch granularity.
+const DefaultEpoch = 30 * time.Second
+
+// Scheduler is the global scheduler.
+type Scheduler struct {
+	clock     *simclock.Clock
+	pool      Pool
+	frontends []*frontend.Frontend
+	modelDB   *model.DB
+	profiles  map[string]*profiler.Profile // base profiles by model ID
+	cfg       Config
+
+	sessions []SessionSpec
+	queries  []QuerySpec
+
+	rates       map[string]float64 // smoothed observed per session
+	everyRates  bool               // true once real observations exist
+	prevPlan    *scheduler.Plan
+	nodeBackend map[string][]string // plan node ID -> replica backend IDs
+	// combined holds this epoch's synthetic prefix-group profiles.
+	combined map[string]*profiler.Profile
+	// groups maps group session ID -> member session IDs.
+	groups map[string][]string
+	// groupParts holds each group's prefix/suffix execution profiles.
+	groupParts map[string][2]*profiler.Profile
+
+	epochs     int
+	lastStats  scheduler.MoveStats
+	ticker     *simclock.Ticker
+	sessionSLO map[string]time.Duration // user-facing session -> current SLO
+
+	// gammaEst smooths per-edge fan-out observations across epochs so the
+	// latency-split DP does not chase workload noise.
+	gammaEst map[string]float64
+	// prevSplit provides hysteresis: a query keeps its split unless a new
+	// one is meaningfully cheaper, avoiding oscillating reconfigurations
+	// (the paper bounds reconfiguration frequency for the same reason, §5).
+	prevSplit map[string]*queryopt.Split
+	// adjBase caches the planning (CPU-adjusted) view of base profiles.
+	adjBase map[string]*profiler.Profile
+	// totalMoved accumulates SessionsMoved across incremental epochs.
+	totalMoved int
+	// lastPlannedRates remembers the rates the last batch-oblivious plan
+	// was computed for (stability guard).
+	lastPlannedRates map[string]float64
+}
+
+// splitHysteresis is the relative improvement a new latency split must
+// offer before replacing the current one.
+const splitHysteresis = 0.05
+
+// New creates a global scheduler.
+func New(clock *simclock.Clock, pool Pool, frontends []*frontend.Frontend,
+	modelDB *model.DB, profiles map[string]*profiler.Profile, cfg Config) *Scheduler {
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = DefaultEpoch
+	}
+	if cfg.Headroom <= 0 {
+		cfg.Headroom = 1.1
+	}
+	if cfg.RateSmoothing <= 0 || cfg.RateSmoothing > 1 {
+		cfg.RateSmoothing = 0.7
+	}
+	return &Scheduler{
+		clock: clock, pool: pool, frontends: frontends,
+		modelDB: modelDB, profiles: profiles, cfg: cfg,
+		rates:       make(map[string]float64),
+		nodeBackend: make(map[string][]string),
+		gammaEst:    make(map[string]float64),
+		prevSplit:   make(map[string]*queryopt.Split),
+	}
+}
+
+// AddSession declares a standalone session.
+func (s *Scheduler) AddSession(spec SessionSpec) error {
+	if spec.ID == "" || spec.ModelID == "" || spec.SLO <= 0 {
+		return fmt.Errorf("globalsched: invalid session spec %+v", spec)
+	}
+	if _, ok := s.profiles[spec.ModelID]; !ok {
+		return fmt.Errorf("globalsched: no profile for model %s", spec.ModelID)
+	}
+	s.sessions = append(s.sessions, spec)
+	return nil
+}
+
+// AddQuery declares a complex query.
+func (s *Scheduler) AddQuery(spec QuerySpec) error {
+	if err := spec.Query.Validate(); err != nil {
+		return err
+	}
+	for _, n := range spec.Query.Nodes() {
+		if _, ok := s.profiles[n.ModelID]; !ok {
+			return fmt.Errorf("globalsched: no profile for model %s (query %s)", n.ModelID, spec.Query.Name)
+		}
+	}
+	s.queries = append(s.queries, spec)
+	return nil
+}
+
+// Epochs returns how many epochs have run.
+func (s *Scheduler) Epochs() int { return s.epochs }
+
+// LastMoveStats returns the disturbance of the latest incremental epoch.
+func (s *Scheduler) LastMoveStats() scheduler.MoveStats { return s.lastStats }
+
+// TotalMoved returns cumulative session movements across epochs.
+func (s *Scheduler) TotalMoved() int { return s.totalMoved }
+
+// Plan returns the current cluster plan (nil before the first epoch).
+func (s *Scheduler) Plan() *scheduler.Plan { return s.prevPlan }
+
+// Assignments returns the current node -> replica backend IDs mapping.
+func (s *Scheduler) Assignments() map[string][]string {
+	out := make(map[string][]string, len(s.nodeBackend))
+	for k, v := range s.nodeBackend {
+		out[k] = append([]string(nil), v...)
+	}
+	return out
+}
+
+// SessionSLO returns the current latency budget of a user-facing session
+// (for query stages, the adaptive per-stage split of the latest epoch).
+func (s *Scheduler) SessionSLO(id string) (time.Duration, bool) {
+	slo, ok := s.sessionSLO[id]
+	return slo, ok
+}
+
+// Start schedules RunEpoch every epoch period. The first epoch must be run
+// explicitly (deployments call RunEpoch once before offering traffic).
+func (s *Scheduler) Start() {
+	s.ticker = s.clock.StartTicker(s.cfg.Epoch, func() {
+		// Epoch failures (e.g. pool exhausted during a burst) leave the
+		// previous plan serving; the next epoch retries.
+		_ = s.RunEpoch()
+	})
+}
+
+// Stop halts epoch scheduling.
+func (s *Scheduler) Stop() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+	}
+}
+
+// RunEpoch performs one control-plane cycle.
+func (s *Scheduler) RunEpoch() error {
+	s.epochs++
+	s.lastStats = scheduler.MoveStats{}
+	s.observeRates()
+	sessions, routingMembers, err := s.buildSessions()
+	if err != nil {
+		return err
+	}
+	plan, err := s.plan(sessions)
+	if err != nil {
+		return err
+	}
+	if err := s.apply(plan, routingMembers); err != nil {
+		return err
+	}
+	s.prevPlan = plan
+	if s.cfg.OnEpoch != nil {
+		s.cfg.OnEpoch(s.epochs, s.lastStats, s.pool.InUse())
+	}
+	return nil
+}
+
+// observeRates folds the frontends' observed rates into the EWMA state.
+func (s *Scheduler) observeRates() {
+	merged := make(map[string]float64)
+	for _, fe := range s.frontends {
+		for sid, r := range fe.ObservedRates() {
+			merged[sid] += r
+		}
+	}
+	var total float64
+	for _, r := range merged {
+		total += r
+	}
+	a := s.cfg.RateSmoothing
+	if total == 0 {
+		if s.everyRates {
+			// Traffic stopped entirely: decay every estimate so the
+			// cluster can shrink.
+			for sid := range s.rates {
+				s.rates[sid] *= 1 - a
+			}
+		}
+		return // before any observation: keep expected rates
+	}
+	s.everyRates = true
+	for sid, r := range merged {
+		if _, seen := s.rates[sid]; !seen {
+			// Seed the EWMA with the first observation; starting from zero
+			// would underprovision the next epoch by (1-a).
+			s.rates[sid] = r
+			continue
+		}
+		s.rates[sid] = a*r + (1-a)*s.rates[sid]
+	}
+	// Decay sessions that received no traffic this epoch.
+	for sid := range s.rates {
+		if _, ok := merged[sid]; !ok {
+			s.rates[sid] *= 1 - a
+		}
+	}
+}
+
+// minSessionRate keeps declared sessions deployed even when observations
+// dip to zero: a session scheduled at rate 0 would vanish from the routing
+// table and its next request would be unroutable.
+const minSessionRate = 0.1
+
+// rateOf returns the planning rate for a user-facing session.
+func (s *Scheduler) rateOf(sid string, expected float64) float64 {
+	r := expected
+	if s.everyRates {
+		r = s.rates[sid]
+	}
+	r *= s.cfg.Headroom
+	if r < minSessionRate {
+		r = minSessionRate
+	}
+	return r
+}
+
+// buildSessions produces the scheduler sessions for this epoch and the
+// member map for routing: member session ID -> unit (group or self) ID.
+func (s *Scheduler) buildSessions() ([]scheduler.Session, map[string]string, error) {
+	var out []scheduler.Session
+	slack := s.slack()
+	for _, spec := range s.sessions {
+		slo := spec.SLO - slack
+		if slo < spec.SLO/2 {
+			slo = spec.SLO / 2
+		}
+		out = append(out, scheduler.Session{
+			ID:      spec.ID,
+			ModelID: spec.ModelID,
+			SLO:     slo,
+			Rate:    s.rateOf(spec.ID, spec.ExpectedRate),
+		})
+	}
+	for _, qs := range s.queries {
+		qSessions, err := s.querySessions(qs)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, qSessions...)
+	}
+	// Record user-facing session SLOs (stage budgets for queries) before
+	// grouping; the data plane derives per-request deadlines from these.
+	s.sessionSLO = make(map[string]time.Duration, len(out))
+	for _, sess := range out {
+		s.sessionSLO[sess.ID] = sess.SLO
+	}
+	// Prefix grouping.
+	s.combined = make(map[string]*profiler.Profile)
+	s.groups = make(map[string][]string)
+	s.groupParts = make(map[string][2]*profiler.Profile)
+	memberUnit := make(map[string]string)
+	for _, sess := range out {
+		memberUnit[sess.ID] = sess.ID
+	}
+	if !s.cfg.PrefixBatch {
+		return out, memberUnit, nil
+	}
+	grouped, err := s.groupPrefixes(out, memberUnit)
+	if err != nil {
+		return nil, nil, err
+	}
+	return grouped, memberUnit, nil
+}
+
+// querySessions derives per-stage sessions for a query, adapting gamma
+// estimates and the latency split to the observed workload (§6.2).
+func (s *Scheduler) querySessions(qs QuerySpec) ([]scheduler.Session, error) {
+	q := qs.Query
+	rootID := q.Name + "/" + q.Root.Name
+	rootRate := s.rateOf(rootID, qs.ExpectedRate)
+	if rootRate <= 0 {
+		rootRate = 0.001 // keep the query deployed at negligible cost
+	}
+	// Adapt per-edge gammas from observed stage rates, and plan against
+	// the slack-reduced SLO with CPU-adjusted profiles.
+	adapted := s.adaptGammas(q)
+	if slack := s.slack(); adapted.SLO > 2*slack {
+		adapted.SLO -= slack
+	}
+	planProf := s.basePlanProfiles()
+	var split *queryopt.Split
+	var err error
+	if s.cfg.QueryAnalysis {
+		split, err = queryopt.Optimize(adapted, rootRate, planProf, s.cfg.Epsilon, s.cfg.Sched)
+		if err != nil {
+			return nil, err
+		}
+		// Hysteresis: keep the previous split unless the new one is
+		// meaningfully cheaper at current rates, so small workload noise
+		// does not trigger cluster-wide reconfigurations.
+		if prev := s.prevSplit[q.Name]; prev != nil {
+			prevCost, cerr := queryopt.SplitCost(adapted, rootRate, prev, planProf, s.cfg.Sched)
+			newCost, nerr := queryopt.SplitCost(adapted, rootRate, split, planProf, s.cfg.Sched)
+			if cerr == nil && nerr == nil && prevCost < (1+splitHysteresis)*newCost {
+				split = prev
+			}
+		}
+		s.prevSplit[q.Name] = split
+	} else {
+		split, err = queryopt.EvenSplit(adapted)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sessions, serr := queryopt.Sessions(adapted, rootRate, split)
+	if serr != nil {
+		return nil, serr
+	}
+	// Non-root stages receive their work in bursts aligned with upstream
+	// batch completions; provision extra headroom for them.
+	stageHeadroom := s.cfg.StageHeadroom
+	if stageHeadroom <= 0 {
+		stageHeadroom = 1.25
+	}
+	for i := range sessions {
+		if sessions[i].ID != rootID { // rootID declared at the top of querySessions
+			sessions[i].Rate *= stageHeadroom
+		}
+	}
+	return sessions, nil
+}
+
+// adaptGammas rebuilds the query tree with gammas estimated from observed
+// stage rates where available.
+func (s *Scheduler) adaptGammas(q *queryopt.Query) *queryopt.Query {
+	if !s.everyRates {
+		return q
+	}
+	var cloneNode func(n *queryopt.Node) *queryopt.Node
+	cloneNode = func(n *queryopt.Node) *queryopt.Node {
+		nn := &queryopt.Node{Name: n.Name, ModelID: n.ModelID}
+		parentRate := s.rates[q.Name+"/"+n.Name]
+		for _, e := range n.Edges {
+			gamma := e.Gamma
+			key := q.Name + "/" + n.Name + ">" + e.Child.Name
+			childRate := s.rates[q.Name+"/"+e.Child.Name]
+			if parentRate > 0.5 && childRate > 0 {
+				obs := childRate / parentRate
+				// Smooth across epochs so the DP sees a stable estimate.
+				if prev, ok := s.gammaEst[key]; ok {
+					obs = 0.3*obs + 0.7*prev
+				}
+				s.gammaEst[key] = obs
+				gamma = obs
+			}
+			nn.Edges = append(nn.Edges, queryopt.Edge{Gamma: gamma, Child: cloneNode(e.Child)})
+		}
+		return nn
+	}
+	return &queryopt.Query{Name: q.Name, SLO: q.SLO, Root: cloneNode(q.Root)}
+}
+
+// groupPrefixes combines sessions of specialized sibling models with equal
+// SLOs into prefix-batched group sessions (§6.3).
+func (s *Scheduler) groupPrefixes(sessions []scheduler.Session, memberUnit map[string]string) ([]scheduler.Session, error) {
+	// Bucket by (SLO, base family).
+	type bucketKey struct {
+		slo  time.Duration
+		base string
+	}
+	buckets := make(map[bucketKey][]scheduler.Session)
+	var order []bucketKey
+	for _, sess := range sessions {
+		key := bucketKey{sess.SLO, profiler.BaseOf(sess.ModelID)}
+		if _, ok := buckets[key]; !ok {
+			order = append(order, key)
+		}
+		buckets[key] = append(buckets[key], sess)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].base != order[j].base {
+			return order[i].base < order[j].base
+		}
+		return order[i].slo < order[j].slo
+	})
+	var out []scheduler.Session
+	for _, key := range order {
+		members := buckets[key]
+		if len(members) < 2 {
+			out = append(out, members...)
+			continue
+		}
+		// Confirm a real shared prefix via the model DB.
+		ids := make([]string, len(members))
+		for i, m := range members {
+			ids[i] = m.ModelID
+		}
+		minShared := s.cfg.MinPrefixLayers
+		baseModel, err := s.modelDB.Get(key.base)
+		if err != nil {
+			// Models not in the DB (synthetic tests): skip grouping.
+			out = append(out, members...)
+			continue
+		}
+		if minShared <= 0 {
+			minShared = baseModel.NumLayers() / 2
+		}
+		pgs, err := s.modelDB.PrefixGroups(dedup(ids), minShared)
+		if err != nil {
+			return nil, err
+		}
+		// Only group when all members share one prefix group (the common
+		// case: one specialized family per application).
+		if len(pgs) != 1 || len(pgs[0].ModelIDs) < 2 {
+			out = append(out, members...)
+			continue
+		}
+		prefixLen := pgs[0].PrefixLen
+		suffixFrac := float64(baseModel.SuffixFLOPs(prefixLen)) / float64(baseModel.FLOPs())
+		baseProfile, ok := s.profiles[key.base]
+		if !ok {
+			baseProfile = s.profiles[members[0].ModelID]
+		}
+		comb, err := profiler.CombinedProfile(baseProfile, suffixFrac, len(members))
+		if err != nil {
+			return nil, err
+		}
+		groupID := fmt.Sprintf("pg/%s/%dms", key.base, key.slo.Milliseconds())
+		comb.ModelID = groupID
+		s.combined[groupID] = comb
+		pre, suf := baseProfile.Split(1 - suffixFrac)
+		s.groupParts[groupID] = [2]*profiler.Profile{&pre, &suf}
+		var rate float64
+		var memberIDs []string
+		for _, m := range members {
+			rate += m.Rate
+			memberIDs = append(memberIDs, m.ID)
+			memberUnit[m.ID] = groupID
+		}
+		s.groups[groupID] = memberIDs
+		out = append(out, scheduler.Session{
+			ID: groupID, ModelID: groupID, SLO: key.slo, Rate: rate,
+		})
+	}
+	return out, nil
+}
+
+func dedup(ids []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// profileOf resolves a model ID against combined and base profiles,
+// returning the RAW profile (actual execution costs) for the runtime.
+func (s *Scheduler) profileOf(modelID string) (*profiler.Profile, error) {
+	if p, ok := s.combined[modelID]; ok {
+		return p, nil
+	}
+	if p, ok := s.profiles[modelID]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("globalsched: no profile for %s", modelID)
+}
+
+// slack returns the planning slack subtracted from SLOs.
+func (s *Scheduler) slack() time.Duration {
+	switch {
+	case s.cfg.PlanningSlack < 0:
+		return 0
+	case s.cfg.PlanningSlack == 0:
+		return DefaultPlanningSlack
+	default:
+		return s.cfg.PlanningSlack
+	}
+}
+
+// cpuOverhead is the per-item CPU cost the pipeline cannot hide from the
+// SLO: postprocessing always; preprocessing too without overlap (§6.3).
+func (s *Scheduler) cpuOverhead(p *profiler.Profile) time.Duration {
+	w := s.cfg.CPUWorkers
+	if w <= 0 {
+		w = 5
+	}
+	oh := p.PostprocCPU / time.Duration(w)
+	if !s.cfg.Overlap {
+		oh += p.PreprocCPU / time.Duration(w)
+	}
+	return oh
+}
+
+// planProfile returns the planning view of a profile: batch latencies
+// inflated by unhideable CPU work, so plans hold up at runtime.
+func (s *Scheduler) planProfile(p *profiler.Profile) *profiler.Profile {
+	return p.WithCPUOverhead(s.cpuOverhead(p))
+}
+
+// basePlanProfiles returns (and caches) the adjusted base-profile map used
+// by the latency-split DP.
+func (s *Scheduler) basePlanProfiles() map[string]*profiler.Profile {
+	if s.adjBase == nil {
+		s.adjBase = make(map[string]*profiler.Profile, len(s.profiles))
+		for k, v := range s.profiles {
+			s.adjBase[k] = s.planProfile(v)
+		}
+	}
+	return s.adjBase
+}
+
+// planProfiles builds the adjusted profile map (base + this epoch's
+// combined prefix groups) for the packer.
+func (s *Scheduler) planProfiles() map[string]*profiler.Profile {
+	m := make(map[string]*profiler.Profile, len(s.profiles)+len(s.combined))
+	for k, v := range s.basePlanProfiles() {
+		m[k] = v
+	}
+	for k, v := range s.combined {
+		m[k] = s.planProfile(v)
+	}
+	return m
+}
+
+// plan runs the packing algorithm selected by the config.
+func (s *Scheduler) plan(sessions []scheduler.Session) (*scheduler.Plan, error) {
+	profiles := s.planProfiles()
+	if !s.cfg.Squishy {
+		if s.cfg.ObliviousGPUs < 1 {
+			return nil, fmt.Errorf("globalsched: batch-oblivious mode needs ObliviousGPUs")
+		}
+		// Stability: container placements only move when the workload has
+		// changed materially. Rate noise must not reshuffle containers —
+		// every move reloads models and drops queued requests.
+		if s.prevPlan != nil && !ratesChangedMaterially(s.lastPlannedRates, sessions) {
+			return s.prevPlan, nil
+		}
+		plan, err := scheduler.BatchOblivious(sessions, profiles, s.cfg.ObliviousGPUs, s.cfg.Sched)
+		if err != nil {
+			return nil, err
+		}
+		for i := range plan.GPUs {
+			plan.GPUs[i].ID = fmt.Sprintf("n%d", i)
+		}
+		s.lastPlannedRates = make(map[string]float64, len(sessions))
+		for _, sess := range sessions {
+			s.lastPlannedRates[sess.ID] = sess.Rate
+		}
+		return plan, nil
+	}
+	// Admission control at planning time: when demand exceeds the pool,
+	// provision for the largest rate fraction that fits and let the
+	// runtime's drop policy shed the excess (§5 "Nexus relies on admission
+	// control that drops excessive requests").
+	capacity := s.pool.Capacity()
+	scaled := sessions
+	for iter := 0; ; iter++ {
+		plan, err := s.packOnce(scaled, profiles)
+		if err != nil {
+			return nil, err
+		}
+		if capacity <= 0 || plan.GPUCount() <= capacity {
+			return plan, nil
+		}
+		if iter >= 20 {
+			return nil, fmt.Errorf("globalsched: demand needs %d GPUs, pool has %d", plan.GPUCount(), capacity)
+		}
+		shrink := 0.97 * float64(capacity) / float64(plan.GPUCount())
+		next := make([]scheduler.Session, len(scaled))
+		copy(next, scaled)
+		for i := range next {
+			next[i].Rate *= shrink
+		}
+		scaled = next
+	}
+}
+
+func (s *Scheduler) packOnce(sessions []scheduler.Session, profiles map[string]*profiler.Profile) (*scheduler.Plan, error) {
+	if s.cfg.Incremental && s.prevPlan != nil {
+		plan, stats, err := scheduler.Incremental(s.prevPlan, sessions, profiles, s.cfg.Sched)
+		if err != nil {
+			return nil, err
+		}
+		s.lastStats = stats
+		s.totalMoved += stats.SessionsMoved
+		return plan, nil
+	}
+	return scheduler.Pack(sessions, profiles, s.cfg.Sched)
+}
+
+// apply maps plan nodes onto pool backends, configures them, and publishes
+// the routing table.
+func (s *Scheduler) apply(plan *scheduler.Plan, memberUnit map[string]string) error {
+	// Decide per-node replica counts: spare pool capacity is spread onto
+	// the busiest nodes so a fixed cluster runs at full width instead of
+	// leaving paid-for GPUs idle ("it is critical to sustain high
+	// utilization", §2.1). Replication halves per-backend arrival rates,
+	// absorbing bursts; the node's duty cycle and batches are unchanged so
+	// SLO guarantees carry over.
+	replicas := s.replicaCounts(plan)
+
+	// Assign backends to node replicas, reusing previous assignments.
+	// Two passes: every node gets its mandatory backend before any node
+	// receives spare replicas, so spreading can never starve a node.
+	newMapping := make(map[string][]string, len(plan.GPUs))
+	for _, g := range plan.GPUs {
+		want := replicas[g.ID]
+		prev := s.nodeBackend[g.ID]
+		if len(prev) > want {
+			// Shrink: release the extras.
+			for _, beID := range prev[want:] {
+				if be := s.pool.Get(beID); be != nil {
+					_ = be.Configure(nil)
+				}
+				s.pool.Release(beID)
+			}
+			prev = prev[:want]
+		}
+		newMapping[g.ID] = append([]string(nil), prev...)
+	}
+	for _, g := range plan.GPUs {
+		if len(newMapping[g.ID]) > 0 {
+			continue
+		}
+		beID, _, err := s.pool.Acquire()
+		if err != nil {
+			return fmt.Errorf("globalsched: acquiring backend for node %s: %w", g.ID, err)
+		}
+		newMapping[g.ID] = []string{beID}
+	}
+	for _, g := range plan.GPUs {
+		for len(newMapping[g.ID]) < replicas[g.ID] {
+			beID, _, err := s.pool.Acquire()
+			if err != nil {
+				break // spares ran out; serve with fewer replicas
+			}
+			newMapping[g.ID] = append(newMapping[g.ID], beID)
+		}
+	}
+	// Release backends whose nodes vanished.
+	for nodeID, beIDs := range s.nodeBackend {
+		if _, ok := newMapping[nodeID]; !ok {
+			for _, beID := range beIDs {
+				if be := s.pool.Get(beID); be != nil {
+					_ = be.Configure(nil)
+				}
+				s.pool.Release(beID)
+			}
+		}
+	}
+	s.nodeBackend = newMapping
+
+	// Configure every replica backend with its node's units.
+	unitWeights := make(map[string][]frontend.Route) // unit ID -> routes
+	for _, g := range plan.GPUs {
+		beIDs := newMapping[g.ID]
+		var units []backend.Unit
+		for _, a := range g.Allocs {
+			p, err := s.profileOf(a.ModelID)
+			if err != nil {
+				return err
+			}
+			unit := backend.Unit{
+				ID:          a.SessionID,
+				Profile:     p,
+				TargetBatch: a.Batch,
+				Members:     s.groups[a.SessionID],
+			}
+			if parts, ok := s.groupParts[a.SessionID]; ok {
+				unit.Prefix, unit.Suffix = parts[0], parts[1]
+			}
+			units = append(units, unit)
+		}
+		for _, beID := range beIDs {
+			be := s.pool.Get(beID)
+			if be == nil {
+				return fmt.Errorf("globalsched: pool lost backend %s", beID)
+			}
+			if err := be.Configure(units); err != nil {
+				return err
+			}
+			for _, a := range g.Allocs {
+				unitWeights[a.SessionID] = append(unitWeights[a.SessionID], frontend.Route{
+					BackendID: beID, UnitID: a.SessionID,
+					Weight: a.Rate/float64(len(beIDs)) + 1e-9,
+				})
+			}
+		}
+	}
+
+	// Routing: each user-facing session routes to its unit's replicas.
+	table := frontend.RoutingTable{}
+	for member, unit := range memberUnit {
+		if routes := unitWeights[unit]; len(routes) > 0 {
+			table[member] = routes
+		}
+	}
+	for _, fe := range s.frontends {
+		if err := fe.SetTable(table); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replicaCounts spreads spare pool capacity across plan nodes, most loaded
+// first (by per-replica occupancy). Nodes that already hold extra replicas
+// keep them (stability): dropping a replica discards its queue and
+// reloading models elsewhere costs hundreds of milliseconds, so replica
+// sets only shrink when the pool actually runs out.
+func (s *Scheduler) replicaCounts(plan *scheduler.Plan) map[string]int {
+	counts := make(map[string]int, len(plan.GPUs))
+	for _, g := range plan.GPUs {
+		counts[g.ID] = 1
+	}
+	spare := s.pool.Capacity() - plan.GPUCount()
+	if !s.cfg.SpreadReplicas || !s.cfg.Squishy || spare <= 0 || len(plan.GPUs) == 0 {
+		return counts
+	}
+	// Honor previous extra replicas first.
+	for _, g := range plan.GPUs {
+		extra := len(s.nodeBackend[g.ID]) - 1
+		if extra <= 0 {
+			continue
+		}
+		if extra > spare {
+			extra = spare
+		}
+		counts[g.ID] += extra
+		spare -= extra
+		if spare == 0 {
+			return counts
+		}
+	}
+	profiles := s.planProfiles()
+	occ := make(map[string]float64, len(plan.GPUs))
+	for _, g := range plan.GPUs {
+		if o, err := g.Occupancy(profiles); err == nil {
+			occ[g.ID] = o
+		} else {
+			occ[g.ID] = 1
+		}
+	}
+	for ; spare > 0; spare-- {
+		best := ""
+		bestLoad := -1.0
+		for _, g := range plan.GPUs {
+			load := occ[g.ID] / float64(counts[g.ID])
+			if load > bestLoad {
+				best, bestLoad = g.ID, load
+			}
+		}
+		counts[best]++
+	}
+	return counts
+}
+
+// ratesChangedMaterially reports whether any session's rate moved more
+// than 25% (or appeared/disappeared) since the last oblivious plan.
+func ratesChangedMaterially(prev map[string]float64, sessions []scheduler.Session) bool {
+	if len(prev) != len(sessions) {
+		return true
+	}
+	for _, sess := range sessions {
+		old, ok := prev[sess.ID]
+		if !ok {
+			return true
+		}
+		// Material = both a meaningful relative change and a meaningful
+		// absolute one; sub-2 r/s wobbles on tiny sessions do not justify
+		// reshuffling containers.
+		diff := sess.Rate - old
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 2 && diff > 0.25*old {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"nexus/internal/profiler"
+)
+
+func TestUtilizationShared(t *testing.T) {
+	c, d := newDev(Shared)
+	d.Submit(10*time.Millisecond, nil)
+	d.Submit(10*time.Millisecond, nil)
+	// Both finish at 23ms (PS with 15% overhead); device busy 0-23ms.
+	c.RunUntil(46 * time.Millisecond)
+	if got := d.Utilization(0); math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("shared utilization = %v, want 0.5", got)
+	}
+}
+
+func TestSharedCompletionOrderDeterministic(t *testing.T) {
+	// Equal jobs submitted in order must complete in submission order.
+	c, d := newDev(Shared)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		d.Submit(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	c.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("completion order %v", order)
+		}
+	}
+}
+
+func TestLoadTimeScalesWithBytes(t *testing.T) {
+	small := LoadTime(64 << 20)
+	big := LoadTime(4 << 30)
+	if big <= small {
+		t.Fatalf("LoadTime(4GiB)=%v not > LoadTime(64MiB)=%v", big, small)
+	}
+	// Fixed floor applies even to tiny models.
+	if LoadTime(1) < 100*time.Millisecond {
+		t.Fatal("load floor missing")
+	}
+}
+
+func TestMemAccountingAcrossLoads(t *testing.T) {
+	c, d := newDev(Exclusive)
+	free0 := d.MemFree()
+	if err := d.Load("a", 1<<30, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load("b", 2<<30, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.MemFree() != free0-3<<30 {
+		t.Fatalf("MemFree = %d", d.MemFree())
+	}
+	if d.LoadedKeys() != 2 {
+		t.Fatalf("LoadedKeys = %d", d.LoadedKeys())
+	}
+	d.Unload("a")
+	if d.MemFree() != free0-2<<30 {
+		t.Fatal("unload did not return memory")
+	}
+	c.Run()
+}
+
+func TestSpecsMatchProfilerTable(t *testing.T) {
+	_, d := newDev(Exclusive)
+	spec, err := profiler.Spec(profiler.GTX1080Ti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Spec.MemBytes != spec.MemBytes {
+		t.Fatalf("device spec mismatch: %d vs %d", d.Spec.MemBytes, spec.MemBytes)
+	}
+}
+
+func TestInterleavedVsExclusiveLatency(t *testing.T) {
+	// The §6.3 motivation in one test: the same two batches take longer
+	// for BOTH parties when interleaved than when serialized back to back.
+	runShared := func() (a, b time.Duration) {
+		c, d := newDev(Shared)
+		d.Submit(10*time.Millisecond, func() { a = c.Now() })
+		d.Submit(10*time.Millisecond, func() { b = c.Now() })
+		c.Run()
+		return
+	}
+	runExclusive := func() (a, b time.Duration) {
+		c, d := newDev(Exclusive)
+		d.Submit(10*time.Millisecond, func() { a = c.Now() })
+		d.Submit(10*time.Millisecond, func() { b = c.Now() })
+		c.Run()
+		return
+	}
+	sa, sb := runShared()
+	ea, eb := runExclusive()
+	if sa <= ea {
+		t.Fatalf("interleaving should delay the first job: %v vs %v", sa, ea)
+	}
+	if sb <= eb {
+		t.Fatalf("interleaving should delay the second job too: %v vs %v", sb, eb)
+	}
+	// Total device time is also worse (the 15% overhead).
+	if sb <= 20*time.Millisecond {
+		t.Fatalf("shared makespan %v should exceed the 20ms of work", sb)
+	}
+}
+
+func TestSubmitDuringSharedDrain(t *testing.T) {
+	// A job arriving exactly when another finishes must not corrupt the
+	// PS bookkeeping.
+	c, d := newDev(Shared)
+	var done int
+	d.Submit(10*time.Millisecond, func() { done++ })
+	c.At(10*time.Millisecond, func() {
+		d.Submit(5*time.Millisecond, func() { done++ })
+	})
+	c.Run()
+	if done != 2 {
+		t.Fatalf("done = %d", done)
+	}
+	if d.QueueLen() != 0 {
+		t.Fatal("jobs left behind")
+	}
+}

@@ -1,0 +1,308 @@
+// Package gpusim simulates a GPU device for DNN serving.
+//
+// A Device executes opaque work items whose exclusive-execution duration
+// the caller supplies (computed from a batching profile). Two execution
+// modes reproduce the behaviours §6.3 ("GPU Multiplexing") contrasts:
+//
+//   - Exclusive: one owner issues kernels; work runs FIFO, back to back.
+//     This is how the Nexus node runtime and TF Serving drive a GPU.
+//   - Shared: multiple independent clients (Clipper containers,
+//     Nexus-parallel) issue kernels concurrently. The GPU runtime
+//     interleaves them arbitrarily, modeled as processor sharing with a
+//     per-concurrency interference overhead, which increases and blurs
+//     everyone's latency — exactly the effect Figure 14 measures.
+//
+// The device also models GPU memory (models must be loaded before
+// execution, loads take hundreds of ms and consume capacity) and tracks
+// busy time for utilization accounting.
+package gpusim
+
+import (
+	"fmt"
+	"time"
+
+	"nexus/internal/profiler"
+	"nexus/internal/simclock"
+)
+
+// Mode selects how concurrent submissions share the device.
+type Mode int
+
+const (
+	// Exclusive runs work items FIFO, one at a time.
+	Exclusive Mode = iota
+	// Shared runs work items concurrently under processor sharing with
+	// interference overhead.
+	Shared
+)
+
+// InterferenceOverhead is the per-extra-concurrent-job slowdown applied in
+// Shared mode: n concurrent jobs each run at rate 1/(n*(1+o*(n-1))).
+// 15% per extra job reproduces the order of degradation Figure 14 shows
+// for uncoordinated containers.
+const InterferenceOverhead = 0.15
+
+// loadBandwidth is host-to-device weight-transfer bandwidth.
+const loadBandwidth = 2 << 30 // bytes/sec
+
+// loadFixed is the fixed per-model initialization cost.
+const loadFixed = 100 * time.Millisecond
+
+// Device is one simulated GPU.
+type Device struct {
+	ID    string
+	Spec  profiler.GPUSpec
+	Mode  Mode
+	clock *simclock.Clock
+
+	memUsed int64
+	loaded  map[string]int64
+
+	// Exclusive mode state.
+	queue   []*job
+	running *job
+
+	// Shared mode state.
+	shared     map[*job]struct{}
+	sharedAt   time.Duration // last time remaining-work was advanced
+	sharedNext *simclock.Timer
+
+	// Utilization accounting.
+	busy      time.Duration
+	busySince time.Duration
+	idleFrom  time.Duration
+
+	jobSeq uint64
+}
+
+type job struct {
+	work      time.Duration // exclusive-execution time remaining
+	submitted time.Duration
+	seq       uint64 // submission order, for deterministic tie-breaks
+	done      func()
+}
+
+// New creates a device of the given type. It panics on unknown GPU types,
+// which indicates a configuration bug.
+func New(clock *simclock.Clock, id string, gpu profiler.GPUType, mode Mode) *Device {
+	spec, err := profiler.Spec(gpu)
+	if err != nil {
+		panic(err)
+	}
+	return &Device{
+		ID:     id,
+		Spec:   spec,
+		Mode:   mode,
+		clock:  clock,
+		loaded: make(map[string]int64),
+		shared: make(map[*job]struct{}),
+	}
+}
+
+// MemUsed returns the bytes currently allocated for loaded models.
+func (d *Device) MemUsed() int64 { return d.memUsed }
+
+// MemFree returns remaining capacity.
+func (d *Device) MemFree() int64 { return d.Spec.MemBytes - d.memUsed }
+
+// IsLoaded reports whether a model (by key) is resident.
+func (d *Device) IsLoaded(key string) bool {
+	_, ok := d.loaded[key]
+	return ok
+}
+
+// LoadedKeys returns the number of resident models.
+func (d *Device) LoadedKeys() int { return len(d.loaded) }
+
+// LoadTime returns how long loading `bytes` of weights takes.
+func LoadTime(bytes int64) time.Duration {
+	return loadFixed + time.Duration(float64(bytes)/float64(loadBandwidth)*float64(time.Second))
+}
+
+// Load begins loading a model's weights; onReady fires when the model is
+// usable. Loading is admission-checked against memory capacity. Loading an
+// already-resident key is a no-op that fires onReady immediately.
+func (d *Device) Load(key string, bytes int64, onReady func()) error {
+	if _, ok := d.loaded[key]; ok {
+		if onReady != nil {
+			d.clock.After(0, onReady)
+		}
+		return nil
+	}
+	if bytes > d.MemFree() {
+		return fmt.Errorf("gpusim %s: loading %s needs %d bytes, %d free", d.ID, key, bytes, d.MemFree())
+	}
+	d.memUsed += bytes
+	d.loaded[key] = bytes
+	if onReady != nil {
+		d.clock.After(LoadTime(bytes), onReady)
+	}
+	return nil
+}
+
+// Unload releases a model's memory immediately.
+func (d *Device) Unload(key string) {
+	if bytes, ok := d.loaded[key]; ok {
+		d.memUsed -= bytes
+		delete(d.loaded, key)
+	}
+}
+
+// Submit enqueues a work item that needs `work` of exclusive GPU time;
+// done fires at completion. Non-positive work panics (profile bug).
+func (d *Device) Submit(work time.Duration, done func()) {
+	if work <= 0 {
+		panic(fmt.Sprintf("gpusim %s: non-positive work %v", d.ID, work))
+	}
+	j := &job{work: work, submitted: d.clock.Now(), seq: d.jobSeq, done: done}
+	d.jobSeq++
+	switch d.Mode {
+	case Exclusive:
+		d.queue = append(d.queue, j)
+		d.maybeStart()
+	case Shared:
+		d.advanceShared()
+		if len(d.shared) == 0 {
+			d.markBusy()
+		}
+		d.shared[j] = struct{}{}
+		d.rescheduleShared()
+	}
+}
+
+// QueueLen returns the number of submitted-but-unfinished work items.
+func (d *Device) QueueLen() int {
+	n := len(d.queue) + len(d.shared)
+	if d.running != nil {
+		n++
+	}
+	return n
+}
+
+// BusyTime returns accumulated busy time (including a current in-progress
+// busy period up to now).
+func (d *Device) BusyTime() time.Duration {
+	b := d.busy
+	if d.isBusy() {
+		b += d.clock.Now() - d.busySince
+	}
+	return b
+}
+
+// Utilization returns BusyTime / elapsed since t0.
+func (d *Device) Utilization(t0 time.Duration) float64 {
+	elapsed := d.clock.Now() - t0
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(d.BusyTime()) / float64(elapsed)
+}
+
+func (d *Device) isBusy() bool {
+	return d.running != nil || len(d.shared) > 0
+}
+
+func (d *Device) markBusy() {
+	d.busySince = d.clock.Now()
+}
+
+func (d *Device) markIdle() {
+	d.busy += d.clock.Now() - d.busySince
+}
+
+// --- exclusive mode ----------------------------------------------------
+
+func (d *Device) maybeStart() {
+	if d.running != nil || len(d.queue) == 0 {
+		return
+	}
+	j := d.queue[0]
+	d.queue = d.queue[1:]
+	d.running = j
+	d.markBusy()
+	d.clock.After(j.work, func() {
+		d.running = nil
+		d.markIdle()
+		if j.done != nil {
+			j.done()
+		}
+		d.maybeStart()
+	})
+}
+
+// --- shared (processor sharing) mode ------------------------------------
+
+// rate returns per-job progress per unit time with n concurrent jobs.
+func sharedRate(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return 1 / (float64(n) * (1 + InterferenceOverhead*float64(n-1)))
+}
+
+// advanceShared applies elapsed progress to all active shared jobs.
+func (d *Device) advanceShared() {
+	now := d.clock.Now()
+	elapsed := now - d.sharedAt
+	d.sharedAt = now
+	if elapsed <= 0 || len(d.shared) == 0 {
+		return
+	}
+	progress := time.Duration(float64(elapsed) * sharedRate(len(d.shared)))
+	for j := range d.shared {
+		j.work -= progress
+	}
+}
+
+// rescheduleShared sets the completion timer for the job with least
+// remaining work.
+func (d *Device) rescheduleShared() {
+	if d.sharedNext != nil {
+		d.sharedNext.Stop()
+		d.sharedNext = nil
+	}
+	if len(d.shared) == 0 {
+		return
+	}
+	var minJob *job
+	for j := range d.shared {
+		if minJob == nil || j.work < minJob.work {
+			minJob = j
+		}
+	}
+	rate := sharedRate(len(d.shared))
+	wait := time.Duration(float64(minJob.work) / rate)
+	if wait < 0 {
+		wait = 0
+	}
+	d.sharedNext = d.clock.After(wait, func() {
+		d.advanceShared()
+		// Complete every job whose work is exhausted (ties finish together).
+		var finished []*job
+		for j := range d.shared {
+			if j.work <= time.Nanosecond {
+				finished = append(finished, j)
+			}
+		}
+		for _, j := range finished {
+			delete(d.shared, j)
+		}
+		if len(d.shared) == 0 {
+			d.markIdle()
+		}
+		// Deterministic completion order: by submission sequence.
+		for i := 0; i < len(finished); i++ {
+			for k := i + 1; k < len(finished); k++ {
+				if finished[k].seq < finished[i].seq {
+					finished[i], finished[k] = finished[k], finished[i]
+				}
+			}
+		}
+		for _, j := range finished {
+			if j.done != nil {
+				j.done()
+			}
+		}
+		d.rescheduleShared()
+	})
+}

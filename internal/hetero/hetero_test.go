@@ -1,0 +1,207 @@
+package hetero
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nexus/internal/model"
+	"nexus/internal/profiler"
+	"nexus/internal/scheduler"
+)
+
+func typedProfiles(t *testing.T) TypedProfiles {
+	t.Helper()
+	mdb := model.Catalog()
+	pdb, err := profiler.CatalogProfiles(mdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := TypedProfiles{}
+	for _, gpu := range []profiler.GPUType{profiler.GTX1080Ti, profiler.K80, profiler.V100} {
+		m := map[string]*profiler.Profile{}
+		for _, id := range model.CatalogIDs() {
+			if p, err := pdb.Get(id, gpu); err == nil {
+				m[id] = p
+			}
+		}
+		out[gpu] = m
+	}
+	return out
+}
+
+func TestTightSLOForcedOntoFastGPU(t *testing.T) {
+	profiles := typedProfiles(t)
+	// SSD at 120ms SLO: 2*l(1) = 94ms on the 1080Ti but 300ms on the K80,
+	// so the K80 is infeasible and the session must land on a fast type.
+	sessions := []scheduler.Session{
+		{ID: "tight", ModelID: model.SSD, SLO: 120 * time.Millisecond, Rate: 30},
+	}
+	a, err := Pack(sessions, profiles, Capacity{profiler.GTX1080Ti: 4, profiler.K80: 16, profiler.V100: 2}, scheduler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.SessionType["tight"]
+	if got == profiler.K80 {
+		t.Fatalf("tight-SLO session placed on the infeasible K80")
+	}
+}
+
+func TestCheapTypePreferredWhenFeasible(t *testing.T) {
+	profiles := typedProfiles(t)
+	// A loose-SLO throughput workload: every type is feasible; the winner
+	// should be the cheapest per request.
+	sessions := []scheduler.Session{
+		{ID: "bulk", ModelID: model.ResNet50, SLO: 500 * time.Millisecond, Rate: 500},
+	}
+	a, err := Pack(sessions, profiles, Capacity{profiler.GTX1080Ti: 8, profiler.K80: 8, profiler.V100: 8}, scheduler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen := a.SessionType["bulk"]
+	// Verify the choice really is the cost argmin.
+	bestType, bestCost := profiler.GPUType(""), math.Inf(1)
+	for gpu, profs := range profiles {
+		p := profs[model.ResNet50]
+		b := p.MaxBatchWithin(250 * time.Millisecond)
+		if b == 0 {
+			continue
+		}
+		spec, _ := profiler.Spec(gpu)
+		c := spec.HourlyUSD / (3600 * p.Throughput(b))
+		if c < bestCost {
+			bestType, bestCost = gpu, c
+		}
+	}
+	if chosen != bestType {
+		t.Fatalf("chose %s, cheapest is %s", chosen, bestType)
+	}
+}
+
+func TestCapacitySpill(t *testing.T) {
+	profiles := typedProfiles(t)
+	// Demand for ~3 GPUs of the cheapest type, but only 1 available: the
+	// overflow must land elsewhere rather than failing.
+	sessions := []scheduler.Session{
+		{ID: "a", ModelID: model.InceptionV3, SLO: 200 * time.Millisecond, Rate: 1200},
+		{ID: "b", ModelID: model.InceptionV3, SLO: 200 * time.Millisecond, Rate: 1200},
+		{ID: "c", ModelID: model.InceptionV3, SLO: 200 * time.Millisecond, Rate: 1200},
+	}
+	// Find the cheapest type for this workload, then restrict it.
+	probe, err := Pack(sessions[:1], profiles,
+		Capacity{profiler.GTX1080Ti: 100, profiler.K80: 100, profiler.V100: 100}, scheduler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap := probe.SessionType["a"]
+	capacity := Capacity{profiler.GTX1080Ti: 100, profiler.K80: 100, profiler.V100: 100}
+	capacity[cheap] = 1
+	a, err := Pack(sessions, profiles, capacity, scheduler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onCheap := 0
+	for _, gpu := range a.SessionType {
+		if gpu == cheap {
+			onCheap++
+		}
+	}
+	if onCheap == 3 {
+		t.Fatal("capacity limit ignored")
+	}
+	if a.GPUs() == 0 {
+		t.Fatal("nothing packed")
+	}
+}
+
+func TestMixedBeatsOrMatchesHomogeneous(t *testing.T) {
+	profiles := typedProfiles(t)
+	sessions := []scheduler.Session{
+		{ID: "tight", ModelID: model.SSD, SLO: 120 * time.Millisecond, Rate: 60},
+		{ID: "bulk1", ModelID: model.ResNet50, SLO: 500 * time.Millisecond, Rate: 2000},
+		{ID: "bulk2", ModelID: model.VGGFace, SLO: 800 * time.Millisecond, Rate: 400},
+	}
+	capacity := Capacity{profiler.GTX1080Ti: 32, profiler.K80: 64, profiler.V100: 16}
+	mixed, err := Pack(sessions, profiles, capacity, scheduler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gpu := range []profiler.GPUType{profiler.GTX1080Ti, profiler.V100} {
+		if homo := HomogeneousCost(sessions, profiles, gpu, scheduler.Config{}); mixed.CostPerHour > homo+1e-9 {
+			t.Fatalf("mixed $%.2f/h worse than all-%s $%.2f/h", mixed.CostPerHour, gpu, homo)
+		}
+	}
+	// All-K80 is infeasible for the tight session.
+	if !math.IsInf(HomogeneousCost(sessions, profiles, profiler.K80, scheduler.Config{}), 1) {
+		t.Fatal("all-K80 should be infeasible")
+	}
+}
+
+func TestInfeasibleEverywhere(t *testing.T) {
+	profiles := typedProfiles(t)
+	sessions := []scheduler.Session{
+		{ID: "impossible", ModelID: model.SSD, SLO: 10 * time.Millisecond, Rate: 5},
+	}
+	if _, err := Pack(sessions, profiles, Capacity{profiler.V100: 4}, scheduler.Config{}); err == nil {
+		t.Fatal("impossible SLO accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Pack(nil, TypedProfiles{}, Capacity{}, scheduler.Config{}); err == nil {
+		t.Fatal("empty profile set accepted")
+	}
+	profiles := typedProfiles(t)
+	if _, err := Pack(nil, profiles, Capacity{profiler.K80: -1}, scheduler.Config{}); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+// Property: every session is assigned exactly one type, every per-type plan
+// validates, and the reported cost matches the plans.
+func TestPropertyAssignmentsValid(t *testing.T) {
+	profiles := typedProfiles(t)
+	models := []string{model.ResNet50, model.InceptionV3, model.GoogLeNetCar, model.VGGFace}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 1
+		sessions := make([]scheduler.Session, n)
+		for i := range sessions {
+			sessions[i] = scheduler.Session{
+				ID:      string(rune('a' + i)),
+				ModelID: models[rng.Intn(len(models))],
+				SLO:     time.Duration(rng.Intn(400)+150) * time.Millisecond,
+				Rate:    float64(rng.Intn(1500) + 10),
+			}
+		}
+		capacity := Capacity{profiler.GTX1080Ti: 64, profiler.K80: 64, profiler.V100: 64}
+		a, err := Pack(sessions, profiles, capacity, scheduler.Config{})
+		if err != nil {
+			return true // an infeasible draw is acceptable
+		}
+		if len(a.SessionType) != n {
+			return false
+		}
+		var cost float64
+		for gpu, plan := range a.Plans {
+			var group []scheduler.Session
+			for _, s := range sessions {
+				if a.SessionType[s.ID] == gpu {
+					group = append(group, s)
+				}
+			}
+			if err := scheduler.Validate(plan, group, profiles[gpu], scheduler.Config{}); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			spec, _ := profiler.Spec(gpu)
+			cost += float64(plan.GPUCount()) * spec.HourlyUSD
+		}
+		return math.Abs(cost-a.CostPerHour) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

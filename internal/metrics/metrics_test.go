@@ -1,0 +1,293 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.FractionAbove(time.Millisecond) != 0 {
+		t.Fatal("empty histogram FractionAbove should be 0")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.Record(10 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 10*time.Millisecond || h.Max() != 10*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	q := h.Quantile(0.5)
+	if relErr(q, 10*time.Millisecond) > 0.03 {
+		t.Fatalf("median = %v, want ~10ms", q)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5 * time.Millisecond)
+	if h.Min() != 0 {
+		t.Fatalf("negative values should clamp to 0, got min %v", h.Min())
+	}
+}
+
+func relErr(a, b time.Duration) float64 {
+	return math.Abs(float64(a)-float64(b)) / float64(b)
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..1000 ms uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 500 * time.Millisecond},
+		{0.9, 900 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.q)
+		if relErr(got, c.want) > 0.05 {
+			t.Errorf("q%.2f = %v, want ~%v", c.q, got, c.want)
+		}
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Error("extreme quantiles should return min/max")
+	}
+}
+
+func TestHistogramFractionAbove(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(10 * time.Millisecond)
+	}
+	for i := 0; i < 25; i++ {
+		h.Record(500 * time.Millisecond)
+	}
+	got := h.FractionAbove(100 * time.Millisecond)
+	if math.Abs(got-0.2) > 0.01 {
+		t.Fatalf("FractionAbove(100ms) = %v, want 0.2", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 50; i++ {
+		a.Record(time.Millisecond)
+		b.Record(time.Second)
+	}
+	a.Merge(&b)
+	if a.Count() != 100 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != time.Millisecond || relErr(a.Max(), time.Second) > 0.001 {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	var empty Histogram
+	a.Merge(&empty) // must be a no-op
+	if a.Count() != 100 {
+		t.Fatal("merging empty histogram changed count")
+	}
+}
+
+// Property: histogram quantiles approximate exact quantiles within 5%
+// relative error for random positive data.
+func TestPropertyQuantileAccuracy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Histogram
+		n := 500
+		vals := make([]time.Duration, n)
+		for i := range vals {
+			vals[i] = time.Duration(rng.Intn(1000000)+100) * time.Microsecond
+			h.Record(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
+			exact := vals[int(q*float64(n))]
+			got := h.Quantile(q)
+			if relErr(got, exact) > 0.05 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionStats(t *testing.T) {
+	s := &SessionStats{Sent: 100, Dropped: 2, Completed: 95, Missed: 1}
+	if s.Good() != 94 {
+		t.Fatalf("Good = %d", s.Good())
+	}
+	if math.Abs(s.BadRate()-0.03) > 1e-9 {
+		t.Fatalf("BadRate = %v", s.BadRate())
+	}
+	var zero SessionStats
+	if zero.BadRate() != 0 {
+		t.Fatal("zero stats BadRate should be 0")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	r.Session("b").Sent = 5
+	r.Session("a").Sent = 3
+	r.Session("a").Dropped = 1
+	ids := r.SessionIDs()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Fatalf("ids = %v", ids)
+	}
+	tot := r.Total()
+	if tot.Sent != 8 || tot.Dropped != 1 {
+		t.Fatalf("total = %+v", tot)
+	}
+	// Session must return the same pointer on repeat calls.
+	if r.Session("a") != r.Session("a") {
+		t.Fatal("Session not stable")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	ts.Add(100*time.Millisecond, 1)
+	ts.Add(900*time.Millisecond, 1)
+	ts.Add(1500*time.Millisecond, 4)
+	if ts.Len() != 2 {
+		t.Fatalf("Len = %d", ts.Len())
+	}
+	if ts.Sum(0) != 2 || ts.Sum(1) != 4 {
+		t.Fatalf("sums = %v, %v", ts.Sum(0), ts.Sum(1))
+	}
+	if ts.Rate(0) != 2 {
+		t.Fatalf("rate(0) = %v", ts.Rate(0))
+	}
+	if ts.Mean(1) != 4 {
+		t.Fatalf("mean(1) = %v", ts.Mean(1))
+	}
+	if ts.Sum(10) != 0 || ts.Mean(-1) != 0 {
+		t.Fatal("out-of-range buckets should read 0")
+	}
+}
+
+func TestTimeSeriesInvalidInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval did not panic")
+		}
+	}()
+	NewTimeSeries(0)
+}
+
+func TestMaxGoodputBasic(t *testing.T) {
+	// A system with true capacity 500 r/s: bad rate 0 below, 0.5 above.
+	eval := func(rate float64) float64 {
+		if rate <= 500 {
+			return 0
+		}
+		return 0.5
+	}
+	got := MaxGoodput(1, 10000, GoodputTarget, 0.01, eval)
+	if math.Abs(got-500) > 10 {
+		t.Fatalf("MaxGoodput = %v, want ~500", got)
+	}
+}
+
+func TestMaxGoodputAllBad(t *testing.T) {
+	got := MaxGoodput(1, 1000, GoodputTarget, 0.01, func(float64) float64 { return 1 })
+	if got != 0 {
+		t.Fatalf("MaxGoodput = %v, want 0", got)
+	}
+}
+
+func TestMaxGoodputAllGood(t *testing.T) {
+	got := MaxGoodput(1, 1000, GoodputTarget, 0.01, func(float64) float64 { return 0 })
+	if got != 1000 {
+		t.Fatalf("MaxGoodput = %v, want hi bound 1000", got)
+	}
+}
+
+// Property: MaxGoodput lands within tolerance of a random true capacity.
+func TestPropertyMaxGoodput(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 50 + rng.Float64()*5000
+		eval := func(rate float64) float64 {
+			if rate <= capacity {
+				return 0.002
+			}
+			return 0.2
+		}
+		got := MaxGoodput(1, 10000, GoodputTarget, 0.01, eval)
+		return got <= capacity && got >= capacity*0.97
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxGoodputNonMonotoneEval(t *testing.T) {
+	// Real systems occasionally pass at a higher rate than one they failed
+	// (placement effects). The search must still terminate and return a
+	// rate that actually passed.
+	calls := map[float64]float64{}
+	eval := func(rate float64) float64 {
+		// Fail in a narrow band, pass elsewhere below 800.
+		bad := 0.0
+		if rate > 400 && rate < 500 {
+			bad = 0.2
+		}
+		if rate >= 800 {
+			bad = 0.5
+		}
+		calls[rate] = bad
+		return bad
+	}
+	got := MaxGoodput(10, 2000, GoodputTarget, 0.02, eval)
+	if got <= 0 || got >= 800 {
+		t.Fatalf("MaxGoodput = %v", got)
+	}
+	if calls[got] > 1-GoodputTarget {
+		t.Fatalf("returned a failing rate %v (bad %v)", got, calls[got])
+	}
+}
+
+func TestHistogramQuantileBracketedByMinMax(t *testing.T) {
+	var h Histogram
+	h.Record(3 * time.Millisecond)
+	h.Record(7 * time.Millisecond)
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		v := h.Quantile(q)
+		if v < h.Min() || v > h.Max() {
+			t.Fatalf("q%.1f = %v outside [min,max]", q, v)
+		}
+	}
+}
+
+func TestTimeSeriesSparseBuckets(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	ts.Add(10*time.Second, 5)
+	if ts.Len() != 11 {
+		t.Fatalf("Len = %d, want 11 (buckets 0..10 allocated)", ts.Len())
+	}
+	if ts.Sum(5) != 0 || ts.Sum(10) != 5 {
+		t.Fatal("sparse bucket accounting wrong")
+	}
+}

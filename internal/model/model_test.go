@@ -1,0 +1,304 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func simpleModel(t *testing.T, id string, n int) *Model {
+	t.Helper()
+	layers := []Layer{{Name: "input", Kind: Input, ActBytes: 100}}
+	for i := 1; i < n; i++ {
+		layers = append(layers, Layer{
+			Name: fmt.Sprintf("l%d", i), Kind: Conv,
+			FLOPs: int64(i) * 1000, ParamBytes: int64(i) * 400, ActBytes: 64,
+			WeightsID: fmt.Sprintf("%s/w%d", "shared", i),
+		})
+	}
+	m, err := New(id, "test", layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", "t", []Layer{{Kind: Input}}); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := New("m", "t", nil); err == nil {
+		t.Error("no layers accepted")
+	}
+	if _, err := New("m", "t", []Layer{{Kind: Conv}}); err == nil {
+		t.Error("non-input first layer accepted")
+	}
+	if _, err := New("m", "t", []Layer{{Kind: Input}, {Kind: Conv, FLOPs: -1}}); err == nil {
+		t.Error("negative FLOPs accepted")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	m := simpleModel(t, "m", 4) // layers 0..3, FLOPs 0,1000,2000,3000
+	if m.FLOPs() != 6000 {
+		t.Fatalf("FLOPs = %d, want 6000", m.FLOPs())
+	}
+	if m.ParamBytes() != 2400 {
+		t.Fatalf("ParamBytes = %d, want 2400", m.ParamBytes())
+	}
+	if m.SuffixFLOPs(2) != 5000 {
+		t.Fatalf("SuffixFLOPs(2) = %d, want 5000", m.SuffixFLOPs(2))
+	}
+	if m.SuffixParamBytes(3) != 1200 {
+		t.Fatalf("SuffixParamBytes(3) = %d", m.SuffixParamBytes(3))
+	}
+}
+
+func TestPrefixHashDeterministicAndDistinct(t *testing.T) {
+	a := simpleModel(t, "a", 5)
+	b := simpleModel(t, "b", 5)
+	for k := 1; k <= 5; k++ {
+		if a.PrefixHash(k) != b.PrefixHash(k) {
+			t.Fatalf("identical structures differ at prefix %d", k)
+		}
+	}
+	if a.PrefixHash(2) == a.PrefixHash(3) {
+		t.Fatal("different prefix lengths hash equal")
+	}
+}
+
+func TestPrefixHashOutOfRangePanics(t *testing.T) {
+	m := simpleModel(t, "m", 3)
+	for _, k := range []int{0, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PrefixHash(%d) did not panic", k)
+				}
+			}()
+			m.PrefixHash(k)
+		}()
+	}
+}
+
+func TestHashIgnoresLayerName(t *testing.T) {
+	a := simpleModel(t, "a", 3)
+	b := simpleModel(t, "b", 3)
+	b.Layers[2].Name = "renamed"
+	if CommonPrefixLen(a, b) != 3 {
+		t.Fatal("renaming a layer broke prefix sharing")
+	}
+}
+
+func TestHashSensitiveToWeights(t *testing.T) {
+	a := simpleModel(t, "a", 3)
+	b := simpleModel(t, "b", 3)
+	b.Layers[2].WeightsID = "different"
+	if got := CommonPrefixLen(a, b); got != 2 {
+		t.Fatalf("CommonPrefixLen = %d, want 2", got)
+	}
+}
+
+func TestSpecialize(t *testing.T) {
+	base := simpleModel(t, "base", 10)
+	v, err := Specialize(base, "v1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumLayers() != base.NumLayers() {
+		t.Fatal("specialization changed depth")
+	}
+	if got := CommonPrefixLen(base, v); got != 8 {
+		t.Fatalf("CommonPrefixLen = %d, want 8", got)
+	}
+	// Two variants share the same prefix but not each other's suffix.
+	v2, _ := Specialize(base, "v2", 2)
+	if got := CommonPrefixLen(v, v2); got != 8 {
+		t.Fatalf("variant-variant CommonPrefixLen = %d, want 8", got)
+	}
+	// Base must be untouched.
+	if !strings.HasPrefix(base.Layers[9].WeightsID, "shared/") {
+		t.Fatal("Specialize mutated the base model")
+	}
+}
+
+func TestSpecializeValidation(t *testing.T) {
+	base := simpleModel(t, "base", 4)
+	if _, err := Specialize(base, "v", 0); err == nil {
+		t.Error("retrain=0 accepted")
+	}
+	if _, err := Specialize(base, "v", 4); err == nil {
+		t.Error("retrain=depth accepted")
+	}
+}
+
+func TestAppendFC(t *testing.T) {
+	base := simpleModel(t, "base", 4)
+	v := AppendFC(base, "v", 2, 128)
+	if v.NumLayers() != 6 {
+		t.Fatalf("NumLayers = %d, want 6", v.NumLayers())
+	}
+	if got := CommonPrefixLen(base, v); got != 4 {
+		t.Fatalf("CommonPrefixLen = %d, want 4", got)
+	}
+	wantParams := base.ParamBytes() + 2*128*128*4
+	if v.ParamBytes() != wantParams {
+		t.Fatalf("ParamBytes = %d, want %d", v.ParamBytes(), wantParams)
+	}
+}
+
+func TestDB(t *testing.T) {
+	db := NewDB()
+	m := simpleModel(t, "m", 3)
+	if err := db.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register(m); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if _, err := db.Get("missing"); err == nil {
+		t.Fatal("Get of missing model succeeded")
+	}
+	got, err := db.Get("m")
+	if err != nil || got != m {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}
+
+func TestPrefixGroups(t *testing.T) {
+	db := NewDB()
+	base := simpleModel(t, "base", 10)
+	db.MustRegister(base)
+	ids, err := SpecializeFamily(db, "base", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := simpleModel(t, "other", 10)
+	other.Layers[1].WeightsID = "unrelated"
+	db.MustRegister(other)
+
+	all := append([]string{"base", "other"}, ids...)
+	groups, err := db.PrefixGroups(all, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2: %+v", len(groups), groups)
+	}
+	var fam, single *PrefixGroup
+	for i := range groups {
+		if len(groups[i].ModelIDs) > 1 {
+			fam = &groups[i]
+		} else {
+			single = &groups[i]
+		}
+	}
+	if fam == nil || single == nil {
+		t.Fatalf("unexpected grouping: %+v", groups)
+	}
+	if fam.PrefixLen != 9 {
+		t.Fatalf("family PrefixLen = %d, want 9 (all but retrained fc)", fam.PrefixLen)
+	}
+	if len(fam.ModelIDs) != 4 {
+		t.Fatalf("family size = %d, want 4", len(fam.ModelIDs))
+	}
+	if single.ModelIDs[0] != "other" {
+		t.Fatalf("singleton = %v, want other", single.ModelIDs)
+	}
+}
+
+func TestPrefixGroupsUnknownModel(t *testing.T) {
+	db := NewDB()
+	if _, err := db.PrefixGroups([]string{"ghost"}, 1); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	db := Catalog()
+	for _, id := range CatalogIDs() {
+		m, err := db.Get(id)
+		if err != nil {
+			t.Fatalf("catalog missing %s: %v", id, err)
+		}
+		if m.FLOPs() <= 0 || m.ParamBytes() <= 0 {
+			t.Errorf("%s has non-positive sizes", id)
+		}
+	}
+	// Sanity: relative compute ordering should match the paper's Table 1.
+	flops := func(id string) int64 { return db.MustGet(id).FLOPs() }
+	if !(flops(LeNet5) < flops(VGG7) && flops(VGG7) < flops(ResNet50) &&
+		flops(ResNet50) < flops(Inception4) && flops(Inception4) < flops(Darknet53)) {
+		t.Error("catalog FLOPs ordering does not match Table 1")
+	}
+}
+
+func TestCatalogSpecializationShares(t *testing.T) {
+	db := Catalog()
+	ids, err := SpecializeFamily(db, ResNet50, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := db.MustGet(ids[0]), db.MustGet(ids[1])
+	want := a.NumLayers() - 2
+	if got := CommonPrefixLen(a, b); got != want {
+		t.Fatalf("variants share %d layers, want %d", got, want)
+	}
+}
+
+// Property: CommonPrefixLen(a,b) equals a linear scan comparison, for random
+// divergence points.
+func TestPropertyCommonPrefix(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 2
+		layers := func(div int, tag string) []Layer {
+			ls := []Layer{{Kind: Input, ActBytes: 1}}
+			for i := 1; i < n; i++ {
+				w := fmt.Sprintf("w%d", i)
+				if i >= div {
+					w = tag + w
+				}
+				ls = append(ls, Layer{Kind: Conv, FLOPs: 10, WeightsID: w})
+			}
+			return ls
+		}
+		div := rng.Intn(n-1) + 1                 // diverge at layer index div (>=1)
+		a := MustNew("a", "t", layers(n, ""))    // never diverges
+		b := MustNew("b", "t", layers(div, "x")) // diverges at div
+		return CommonPrefixLen(a, b) == div
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: specialization preserves FLOPs and depth, and keeps exactly
+// depth-retrain shared layers.
+func TestPropertySpecialize(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 3
+		layers := []Layer{{Kind: Input, ActBytes: 1}}
+		for i := 1; i < n; i++ {
+			layers = append(layers, Layer{Kind: Conv, FLOPs: int64(rng.Intn(100) + 1), WeightsID: fmt.Sprintf("w%d", i)})
+		}
+		base := MustNew("base", "t", layers)
+		retrain := rng.Intn(n-1) + 1
+		v, err := Specialize(base, "v", retrain)
+		if err != nil {
+			return false
+		}
+		return v.FLOPs() == base.FLOPs() &&
+			v.NumLayers() == base.NumLayers() &&
+			CommonPrefixLen(base, v) == n-retrain
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

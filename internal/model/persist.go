@@ -1,0 +1,59 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// dbDocument is the JSON persistence format of a model database — the
+// management plane's durable model store (§5 "Models are stored in a model
+// database").
+type dbDocument struct {
+	Models []modelDocument `json:"models"`
+}
+
+type modelDocument struct {
+	ID     string  `json:"id"`
+	Task   string  `json:"task,omitempty"`
+	Layers []Layer `json:"layers"`
+}
+
+// MarshalJSON is implemented on Layer via struct tags below; Layer is
+// already a flat value type, so the default encoding suffices.
+
+// Save writes the database as JSON, models sorted by ID for stable diffs.
+func (db *DB) Save(w io.Writer) error {
+	doc := dbDocument{}
+	ids := db.IDs()
+	sort.Strings(ids)
+	for _, id := range ids {
+		m := db.models[id]
+		doc.Models = append(doc.Models, modelDocument{ID: m.ID, Task: m.Task, Layers: m.Layers})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// LoadDB reads a database saved by Save, validating every model.
+func LoadDB(r io.Reader) (*DB, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc dbDocument
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("model: loading db: %w", err)
+	}
+	db := NewDB()
+	for _, md := range doc.Models {
+		m, err := New(md.ID, md.Task, md.Layers)
+		if err != nil {
+			return nil, fmt.Errorf("model: loading db: %w", err)
+		}
+		if err := db.Register(m); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,52 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDBSaveLoadRoundTrip(t *testing.T) {
+	db := Catalog()
+	if _, err := SpecializeFamily(db, ResNet50, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDB(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != db.Len() {
+		t.Fatalf("loaded %d models, want %d", loaded.Len(), db.Len())
+	}
+	// Structural identity: prefix hashes survive the round trip, so prefix
+	// groups are preserved.
+	a := db.MustGet("resnet50-v0")
+	b := loaded.MustGet("resnet50-v0")
+	if a.PrefixHash(a.NumLayers()) != b.PrefixHash(b.NumLayers()) {
+		t.Fatal("prefix hash changed across persistence")
+	}
+	base := loaded.MustGet(ResNet50)
+	if got := CommonPrefixLen(base, b); got != base.NumLayers()-1 {
+		t.Fatalf("shared prefix after reload = %d", got)
+	}
+}
+
+func TestLoadDBRejectsInvalid(t *testing.T) {
+	bad := `{"models":[{"id":"m","layers":[{"Kind":"conv"}]}]}`
+	if _, err := LoadDB(strings.NewReader(bad)); err == nil {
+		t.Fatal("model without input layer accepted")
+	}
+	if _, err := LoadDB(strings.NewReader(`{"bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	dup := `{"models":[
+	  {"id":"m","layers":[{"Kind":"input"}]},
+	  {"id":"m","layers":[{"Kind":"input"}]}]}`
+	if _, err := LoadDB(strings.NewReader(dup)); err == nil {
+		t.Fatal("duplicate ids accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package profiler
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// profileDocument is the JSON persistence format of a batching profile —
+// what the management plane stores alongside a model after profiling it
+// (§5 "may be accompanied by ... a batching profile").
+type profileDocument struct {
+	Model      string  `json:"model"`
+	GPU        GPUType `json:"gpu"`
+	AlphaUS    int64   `json:"alpha_us"`
+	BetaUS     int64   `json:"beta_us"`
+	MaxBatch   int     `json:"max_batch"`
+	PreprocUS  int64   `json:"preproc_us,omitempty"`
+	PostprocUS int64   `json:"postproc_us,omitempty"`
+	MemBase    int64   `json:"mem_base,omitempty"`
+	MemPerItem int64   `json:"mem_per_item,omitempty"`
+	PointsUS   []int64 `json:"points_us,omitempty"`
+}
+
+// dbDocument is a list of profiles.
+type dbDocument struct {
+	Profiles []profileDocument `json:"profiles"`
+}
+
+func toDocument(p *Profile) profileDocument {
+	doc := profileDocument{
+		Model:      p.ModelID,
+		GPU:        p.GPU,
+		AlphaUS:    int64(p.Alpha / time.Microsecond),
+		BetaUS:     int64(p.Beta / time.Microsecond),
+		MaxBatch:   p.MaxBatch,
+		PreprocUS:  int64(p.PreprocCPU / time.Microsecond),
+		PostprocUS: int64(p.PostprocCPU / time.Microsecond),
+		MemBase:    p.MemBase,
+		MemPerItem: p.MemPerItem,
+	}
+	for _, pt := range p.points {
+		doc.PointsUS = append(doc.PointsUS, int64(pt/time.Microsecond))
+	}
+	return doc
+}
+
+func fromDocument(doc profileDocument) (*Profile, error) {
+	p := &Profile{
+		ModelID:     doc.Model,
+		GPU:         doc.GPU,
+		Alpha:       time.Duration(doc.AlphaUS) * time.Microsecond,
+		Beta:        time.Duration(doc.BetaUS) * time.Microsecond,
+		MaxBatch:    doc.MaxBatch,
+		PreprocCPU:  time.Duration(doc.PreprocUS) * time.Microsecond,
+		PostprocCPU: time.Duration(doc.PostprocUS) * time.Microsecond,
+		MemBase:     doc.MemBase,
+		MemPerItem:  doc.MemPerItem,
+	}
+	if len(doc.PointsUS) > 0 {
+		pts := make([]time.Duration, len(doc.PointsUS))
+		for i, us := range doc.PointsUS {
+			pts[i] = time.Duration(us) * time.Microsecond
+		}
+		p = p.WithPoints(pts)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Save writes every profile in the database as JSON, in key order.
+func (db *DB) Save(w io.Writer) error {
+	var doc dbDocument
+	for _, k := range db.Keys() {
+		doc.Profiles = append(doc.Profiles, toDocument(db.profiles[k]))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// LoadDB reads a profile database saved by Save, validating every entry.
+func LoadDB(r io.Reader) (*DB, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc dbDocument
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("profiler: loading db: %w", err)
+	}
+	db := NewDB()
+	for _, pd := range doc.Profiles {
+		p, err := fromDocument(pd)
+		if err != nil {
+			return nil, fmt.Errorf("profiler: loading db: %w", err)
+		}
+		if err := db.Put(p); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

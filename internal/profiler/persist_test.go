@@ -1,0 +1,51 @@
+package profiler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfileDBSaveLoadRoundTrip(t *testing.T) {
+	db := NewDB()
+	p := testProfile()
+	db.MustPut(p)
+	withPoints := testProfile().WithPoints([]time.Duration{
+		20 * time.Millisecond, 21 * time.Millisecond, 22 * time.Millisecond,
+	})
+	withPoints.ModelID = "pts"
+	db.MustPut(withPoints)
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDB(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loaded.MustGet("m", GTX1080Ti)
+	if got.Alpha != p.Alpha || got.Beta != p.Beta || got.MaxBatch != p.MaxBatch {
+		t.Fatalf("linear profile changed: %+v", got)
+	}
+	if got.BatchLatency(5) != p.BatchLatency(5) {
+		t.Fatal("latency model changed across persistence")
+	}
+	gp := loaded.MustGet("pts", GTX1080Ti)
+	if gp.BatchLatency(2) != 21*time.Millisecond {
+		t.Fatalf("points lost: l(2) = %v", gp.BatchLatency(2))
+	}
+	if gp.MaxBatch != 3 {
+		t.Fatalf("points MaxBatch = %d", gp.MaxBatch)
+	}
+}
+
+func TestLoadProfileDBRejectsInvalid(t *testing.T) {
+	if _, err := LoadDB(strings.NewReader(`{"profiles":[{"model":"m","gpu":"gtx1080ti","alpha_us":0,"beta_us":0,"max_batch":0}]}`)); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+	if _, err := LoadDB(strings.NewReader(`{"nope":[]}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package profiler
+
+import (
+	"fmt"
+	"time"
+)
+
+// CombinedProfile builds the batching profile of a prefix group (§6.3):
+// k specialized variants of a base model that share all compute except a
+// suffix holding suffixFLOPFrac of the FLOPs. A combined batch of size b
+// executes the shared prefix once at batch b, then up to min(k, b) suffixes
+// sequentially at batch ceil(b / active).
+//
+// The resulting point table is smoothed to restore the two monotonicity
+// invariants scheduling relies on (latency non-decreasing, per-item latency
+// non-increasing); smoothing only ever raises latencies, so plans built on
+// the combined profile remain SLO-safe.
+func CombinedProfile(base *Profile, suffixFLOPFrac float64, k int) (*Profile, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("profiler: CombinedProfile with k=%d", k)
+	}
+	if suffixFLOPFrac < 0 || suffixFLOPFrac >= 1 {
+		return nil, fmt.Errorf("profiler: suffix FLOP fraction %v out of [0,1)", suffixFLOPFrac)
+	}
+	prefix, suffix := base.Split(1 - suffixFLOPFrac)
+	maxBatch := base.MaxBatch
+	pts := make([]time.Duration, maxBatch)
+	for b := 1; b <= maxBatch; b++ {
+		active := k
+		if b < k {
+			active = b
+		}
+		per := (b + active - 1) / active
+		pts[b-1] = prefix.BatchLatency(b) + time.Duration(active)*suffix.BatchLatency(per)
+	}
+	smoothMonotone(pts)
+	combined := &Profile{
+		ModelID:     fmt.Sprintf("%s+%dvariants", base.ModelID, k),
+		GPU:         base.GPU,
+		Alpha:       base.Alpha, // fallback beyond the table
+		Beta:        base.Beta,
+		MaxBatch:    maxBatch,
+		PreprocCPU:  base.PreprocCPU,
+		PostprocCPU: base.PostprocCPU,
+		// One resident prefix plus k small suffixes (Figure 15b).
+		MemBase:    base.MemBase + int64(float64(base.MemBase-workspaceBytes)*suffixFLOPFrac)*int64(k-1),
+		MemPerItem: base.MemPerItem,
+	}
+	out := combined.WithPoints(pts)
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("profiler: combined profile invalid: %w", err)
+	}
+	return out, nil
+}
+
+// smoothMonotone raises points as needed so that latency is non-decreasing
+// in b and per-item latency non-increasing. Backward pass first (per-item),
+// then forward (latency); both only increase values.
+func smoothMonotone(pts []time.Duration) {
+	n := len(pts)
+	for b := n - 1; b >= 1; b-- {
+		// per-item(b) >= per-item(b+1):  pts[b-1]/b >= pts[b]/(b+1).
+		// Exact integer ceil division; float truncation here could
+		// undershoot by a nanosecond and break validation.
+		minLat := (pts[b]*time.Duration(b) + time.Duration(b)) / time.Duration(b+1)
+		if pts[b-1] < minLat {
+			pts[b-1] = minLat
+		}
+	}
+	for b := 1; b < n; b++ {
+		if pts[b] < pts[b-1] {
+			pts[b] = pts[b-1]
+		}
+	}
+}
+
+// SeparateVariantsProfile models the Figure 15 baseline: k variants served
+// WITHOUT prefix batching on one GPU must run k separate sub-batches, so a
+// "combined" batch of b costs k full invocations of batch ceil(b/k), and
+// memory grows with k full model replicas.
+func SeparateVariantsProfile(base *Profile, k int) (*Profile, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("profiler: SeparateVariantsProfile with k=%d", k)
+	}
+	maxBatch := base.MaxBatch
+	pts := make([]time.Duration, maxBatch)
+	for b := 1; b <= maxBatch; b++ {
+		active := k
+		if b < k {
+			active = b
+		}
+		per := (b + active - 1) / active
+		pts[b-1] = time.Duration(active) * base.BatchLatency(per)
+	}
+	smoothMonotone(pts)
+	sep := &Profile{
+		ModelID:     fmt.Sprintf("%s*%dseparate", base.ModelID, k),
+		GPU:         base.GPU,
+		Alpha:       base.Alpha,
+		Beta:        base.Beta,
+		MaxBatch:    maxBatch,
+		PreprocCPU:  base.PreprocCPU,
+		PostprocCPU: base.PostprocCPU,
+		MemBase:     base.MemBase * int64(k),
+		MemPerItem:  base.MemPerItem,
+	}
+	out := sep.WithPoints(pts)
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("profiler: separate-variants profile invalid: %w", err)
+	}
+	return out, nil
+}

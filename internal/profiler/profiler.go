@@ -1,0 +1,335 @@
+// Package profiler implements Nexus batching profiles (§2.2, Eq. 1).
+//
+// A profile describes how a model executes on a GPU type: batched execution
+// latency ℓ(b) (either a measured point table or the paper's linear model
+// ℓ(b) = αb + β), CPU pre/post-processing cost per item, and memory
+// footprint. The management plane derives a profile when a model is
+// uploaded (§5); here profiles come from a calibration table matching the
+// latencies the paper reports, or from a linear fit of measured points.
+package profiler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// GPUType names a device model.
+type GPUType string
+
+// GPU types used in the paper's evaluation.
+const (
+	GTX1080Ti GPUType = "gtx1080ti"
+	K80       GPUType = "k80"
+	V100      GPUType = "v100"
+	CPUAVX512 GPUType = "cpu_avx512" // c5.large-class CPU, Table 1 baseline
+	TPUv2     GPUType = "tpu_v2"     // Table 1 cost comparison only
+)
+
+// GPUSpec carries the device characteristics used by the cost model
+// (Table 1) and the memory/packing constraints.
+type GPUSpec struct {
+	Type       GPUType
+	PeakTFLOPS float64
+	MemBytes   int64
+	HourlyUSD  float64 // on-demand cloud price for the host instance
+}
+
+// Specs returns the built-in device table.
+func Specs() map[GPUType]GPUSpec {
+	return map[GPUType]GPUSpec{
+		GTX1080Ti: {Type: GTX1080Ti, PeakTFLOPS: 11.3, MemBytes: 11 << 30, HourlyUSD: 0.60},
+		K80:       {Type: K80, PeakTFLOPS: 4.1, MemBytes: 12 << 30, HourlyUSD: 0.90},
+		V100:      {Type: V100, PeakTFLOPS: 125, MemBytes: 16 << 30, HourlyUSD: 3.06},
+		CPUAVX512: {Type: CPUAVX512, PeakTFLOPS: 0.1, MemBytes: 4 << 30, HourlyUSD: 0.085},
+		TPUv2:     {Type: TPUv2, PeakTFLOPS: 180, MemBytes: 64 << 30, HourlyUSD: 4.50},
+	}
+}
+
+// Spec returns the spec for a GPU type.
+func Spec(t GPUType) (GPUSpec, error) {
+	s, ok := Specs()[t]
+	if !ok {
+		return GPUSpec{}, fmt.Errorf("profiler: unknown GPU type %q", t)
+	}
+	return s, nil
+}
+
+// Profile is the batching profile of one model on one GPU type.
+type Profile struct {
+	ModelID string
+	GPU     GPUType
+
+	// Linear batching model (Eq. 1): BatchLatency(b) = Alpha*b + Beta.
+	Alpha time.Duration // marginal cost per batched item
+	Beta  time.Duration // fixed invocation cost
+
+	// MaxBatch bounds the batch size (memory / framework limit).
+	MaxBatch int
+
+	// CPU-side work per item, overlappable with GPU execution (§6.3 OL).
+	PreprocCPU  time.Duration
+	PostprocCPU time.Duration
+
+	// Memory accounting for placement: MemBase is weights + workspace;
+	// MemPerItem is per-batch-slot activation memory.
+	MemBase    int64
+	MemPerItem int64
+
+	// points, when non-empty, overrides the linear model for b <= len:
+	// points[b-1] is the measured latency at batch size b.
+	points []time.Duration
+}
+
+// Validate checks profile invariants: positive costs, a usable batch range,
+// and the monotonicity assumptions §6.1 relies on (latency non-decreasing
+// in b; per-item latency ℓ(b)/b non-increasing).
+func (p *Profile) Validate() error {
+	if p.ModelID == "" {
+		return fmt.Errorf("profiler: profile with empty model id")
+	}
+	if p.MaxBatch < 1 {
+		return fmt.Errorf("profile %s/%s: MaxBatch %d < 1", p.ModelID, p.GPU, p.MaxBatch)
+	}
+	if p.Alpha <= 0 && len(p.points) == 0 {
+		return fmt.Errorf("profile %s/%s: non-positive alpha", p.ModelID, p.GPU)
+	}
+	if p.Beta < 0 {
+		return fmt.Errorf("profile %s/%s: negative beta", p.ModelID, p.GPU)
+	}
+	prev := time.Duration(0)
+	prevPerItem := math.Inf(1)
+	for b := 1; b <= p.MaxBatch; b++ {
+		l := p.BatchLatency(b)
+		if l <= 0 {
+			return fmt.Errorf("profile %s/%s: non-positive latency at b=%d", p.ModelID, p.GPU, b)
+		}
+		if l < prev {
+			return fmt.Errorf("profile %s/%s: latency decreases at b=%d", p.ModelID, p.GPU, b)
+		}
+		perItem := float64(l) / float64(b)
+		if perItem > prevPerItem*(1+1e-9) {
+			return fmt.Errorf("profile %s/%s: per-item latency increases at b=%d", p.ModelID, p.GPU, b)
+		}
+		prev, prevPerItem = l, perItem
+	}
+	return nil
+}
+
+// BatchLatency returns ℓ(b), the GPU execution latency of a batch of b.
+// It panics for b < 1; b beyond MaxBatch extrapolates linearly (callers
+// should clamp, but extrapolation keeps analysis code total).
+func (p *Profile) BatchLatency(b int) time.Duration {
+	if b < 1 {
+		panic(fmt.Sprintf("profile %s: BatchLatency(%d)", p.ModelID, b))
+	}
+	if n := len(p.points); n > 0 {
+		if b <= n {
+			return p.points[b-1]
+		}
+		// Extrapolate from the tail slope of the measured points.
+		var slope time.Duration
+		if n >= 2 {
+			slope = p.points[n-1] - p.points[n-2]
+		} else {
+			slope = p.points[0]
+		}
+		return p.points[n-1] + time.Duration(b-n)*slope
+	}
+	return time.Duration(b)*p.Alpha + p.Beta
+}
+
+// Throughput returns requests/second at batch size b.
+func (p *Profile) Throughput(b int) float64 {
+	return float64(b) / p.BatchLatency(b).Seconds()
+}
+
+// MaxBatchWithin returns the largest batch size (capped at MaxBatch) whose
+// batch latency is at most lat, or 0 if even b=1 exceeds lat.
+func (p *Profile) MaxBatchWithin(lat time.Duration) int {
+	if p.BatchLatency(1) > lat {
+		return 0
+	}
+	lo, hi := 1, p.MaxBatch
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p.BatchLatency(mid) <= lat {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// SaturateBatch returns B_i = argmax{b : 2ℓ(b) <= slo} — the batch size a
+// session saturating whole GPUs runs at (§4.1, §6.1), and the resulting
+// per-GPU throughput T_i. Returns (0, 0) when no batch size is feasible.
+func (p *Profile) SaturateBatch(slo time.Duration) (int, float64) {
+	b := p.MaxBatchWithin(slo / 2)
+	if b == 0 {
+		return 0, 0
+	}
+	return b, p.Throughput(b)
+}
+
+// WithPoints returns a copy of p that uses the given measured latency table
+// (points[b-1] = ℓ(b)).
+func (p *Profile) WithPoints(points []time.Duration) *Profile {
+	q := *p
+	q.points = append([]time.Duration(nil), points...)
+	if len(q.points) > 0 {
+		q.MaxBatch = len(q.points)
+	}
+	return &q
+}
+
+// Points returns the measured table (nil when the linear model is in use).
+func (p *Profile) Points() []time.Duration {
+	return append([]time.Duration(nil), p.points...)
+}
+
+// Split divides the profile into a prefix part and a suffix part for prefix
+// batching (§6.3). flopFrac is the fraction of the model's compute in the
+// prefix. Alpha splits proportionally to compute; Beta splits with the same
+// fraction but the suffix keeps at least a minimal invocation cost, since a
+// suffix still launches kernels.
+func (p *Profile) Split(flopFrac float64) (prefix, suffix Profile) {
+	if flopFrac < 0 {
+		flopFrac = 0
+	}
+	if flopFrac > 1 {
+		flopFrac = 1
+	}
+	// A suffix is a few tiny layers: its invocation cost is kernel-launch
+	// overhead, a small fraction of the full model's fixed cost.
+	minBeta := p.Beta / 100
+	prefix = *p
+	suffix = *p
+	prefix.points, suffix.points = nil, nil
+	prefix.ModelID = p.ModelID + "#prefix"
+	suffix.ModelID = p.ModelID + "#suffix"
+	prefix.Alpha = time.Duration(float64(p.Alpha) * flopFrac)
+	suffix.Alpha = p.Alpha - prefix.Alpha
+	suffix.Beta = time.Duration(float64(p.Beta) * (1 - flopFrac))
+	if suffix.Beta < minBeta {
+		suffix.Beta = minBeta
+	}
+	prefix.Beta = p.Beta - suffix.Beta
+	if prefix.Beta < 0 {
+		prefix.Beta = 0
+	}
+	if prefix.Alpha < time.Nanosecond {
+		prefix.Alpha = time.Nanosecond
+	}
+	if suffix.Alpha < time.Nanosecond {
+		suffix.Alpha = time.Nanosecond
+	}
+	// CPU work stays with the whole request path: preproc before the
+	// prefix, postproc after the suffix.
+	prefix.PostprocCPU = 0
+	suffix.PreprocCPU = 0
+	return prefix, suffix
+}
+
+// WithCPUOverhead returns a copy whose batch latency includes an extra
+// per-item CPU cost. The control plane plans with such adjusted profiles so
+// that CPU work the pipeline cannot hide (postprocessing always; pre-
+// processing too when overlap is disabled) is charged against the SLO.
+func (p *Profile) WithCPUOverhead(perItem time.Duration) *Profile {
+	if perItem <= 0 {
+		return p
+	}
+	q := *p
+	q.Alpha += perItem
+	if len(p.points) > 0 {
+		q.points = make([]time.Duration, len(p.points))
+		for i, v := range p.points {
+			q.points[i] = v + time.Duration(i+1)*perItem
+		}
+	}
+	return &q
+}
+
+// FitLinear least-squares fits ℓ(b) = αb + β to a measured table
+// (points[b-1] = ℓ(b)). It needs at least two points.
+func FitLinear(points []time.Duration) (alpha, beta time.Duration, err error) {
+	n := len(points)
+	if n < 2 {
+		return 0, 0, fmt.Errorf("profiler: FitLinear needs >= 2 points, got %d", n)
+	}
+	var sx, sy, sxx, sxy float64
+	for i, p := range points {
+		x := float64(i + 1)
+		y := float64(p)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	fn := float64(n)
+	denom := fn*sxx - sx*sx
+	a := (fn*sxy - sx*sy) / denom
+	b := (sy - a*sx) / fn
+	if b < 0 {
+		b = 0
+	}
+	return time.Duration(a), time.Duration(b), nil
+}
+
+// DB stores profiles keyed by (model, GPU type).
+type DB struct {
+	profiles map[string]*Profile
+}
+
+func key(modelID string, gpu GPUType) string { return modelID + "@" + string(gpu) }
+
+// NewDB returns an empty profile database.
+func NewDB() *DB {
+	return &DB{profiles: make(map[string]*Profile)}
+}
+
+// Put validates and stores a profile, replacing any existing entry.
+func (db *DB) Put(p *Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	db.profiles[key(p.ModelID, p.GPU)] = p
+	return nil
+}
+
+// MustPut is Put but panics on error.
+func (db *DB) MustPut(p *Profile) {
+	if err := db.Put(p); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the profile for (modelID, gpu).
+func (db *DB) Get(modelID string, gpu GPUType) (*Profile, error) {
+	p, ok := db.profiles[key(modelID, gpu)]
+	if !ok {
+		return nil, fmt.Errorf("profiler: no profile for %s on %s", modelID, gpu)
+	}
+	return p, nil
+}
+
+// MustGet is Get but panics on error.
+func (db *DB) MustGet(modelID string, gpu GPUType) *Profile {
+	p, err := db.Get(modelID, gpu)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Keys returns "model@gpu" keys in sorted order.
+func (db *DB) Keys() []string {
+	ks := make([]string, 0, len(db.profiles))
+	for k := range db.profiles {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,331 @@
+package profiler
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nexus/internal/model"
+)
+
+func testProfile() *Profile {
+	return &Profile{
+		ModelID:     "m",
+		GPU:         GTX1080Ti,
+		Alpha:       time.Millisecond,
+		Beta:        10 * time.Millisecond,
+		MaxBatch:    64,
+		PreprocCPU:  2 * time.Millisecond,
+		PostprocCPU: 500 * time.Microsecond,
+		MemBase:     1 << 30,
+		MemPerItem:  4 << 20,
+	}
+}
+
+func TestBatchLatencyLinear(t *testing.T) {
+	p := testProfile()
+	if got := p.BatchLatency(1); got != 11*time.Millisecond {
+		t.Fatalf("l(1) = %v", got)
+	}
+	if got := p.BatchLatency(10); got != 20*time.Millisecond {
+		t.Fatalf("l(10) = %v", got)
+	}
+}
+
+func TestBatchLatencyPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for b=0")
+		}
+	}()
+	testProfile().BatchLatency(0)
+}
+
+func TestThroughputIncreasesWithBatch(t *testing.T) {
+	p := testProfile()
+	prev := 0.0
+	for b := 1; b <= p.MaxBatch; b++ {
+		tp := p.Throughput(b)
+		if tp <= prev {
+			t.Fatalf("throughput not increasing at b=%d: %v <= %v", b, tp, prev)
+		}
+		prev = tp
+	}
+}
+
+func TestMaxBatchWithin(t *testing.T) {
+	p := testProfile() // l(b) = b+10 ms
+	cases := []struct {
+		lat  time.Duration
+		want int
+	}{
+		{5 * time.Millisecond, 0},   // infeasible
+		{11 * time.Millisecond, 1},  // exactly b=1
+		{20 * time.Millisecond, 10}, // exactly b=10
+		{25500 * time.Microsecond, 15},
+		{10 * time.Second, 64}, // capped at MaxBatch
+	}
+	for _, c := range cases {
+		if got := p.MaxBatchWithin(c.lat); got != c.want {
+			t.Errorf("MaxBatchWithin(%v) = %d, want %d", c.lat, got, c.want)
+		}
+	}
+}
+
+func TestSaturateBatch(t *testing.T) {
+	p := testProfile() // l(b)=b+10ms; 2l(b)<=100ms => l(b)<=50 => b=40
+	b, tp := p.SaturateBatch(100 * time.Millisecond)
+	if b != 40 {
+		t.Fatalf("saturate batch = %d, want 40", b)
+	}
+	want := 40.0 / 0.050
+	if math.Abs(tp-want) > 1 {
+		t.Fatalf("saturate throughput = %v, want %v", tp, want)
+	}
+	if b, tp := p.SaturateBatch(time.Millisecond); b != 0 || tp != 0 {
+		t.Fatal("infeasible SLO should return zeros")
+	}
+}
+
+func TestWithPoints(t *testing.T) {
+	p := testProfile()
+	pts := []time.Duration{50 * time.Millisecond, 75 * time.Millisecond, 100 * time.Millisecond}
+	q := p.WithPoints(pts)
+	if q.BatchLatency(2) != 75*time.Millisecond {
+		t.Fatalf("points lookup wrong: %v", q.BatchLatency(2))
+	}
+	if q.MaxBatch != 3 {
+		t.Fatalf("MaxBatch = %d, want 3", q.MaxBatch)
+	}
+	// Extrapolation beyond the table uses tail slope (25ms/step).
+	if got := q.BatchLatency(5); got != 150*time.Millisecond {
+		t.Fatalf("extrapolated l(5) = %v, want 150ms", got)
+	}
+	// Original profile is untouched.
+	if p.BatchLatency(2) != 12*time.Millisecond {
+		t.Fatal("WithPoints mutated the receiver")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := testProfile()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	bad := testProfile()
+	bad.MaxBatch = 0
+	if bad.Validate() == nil {
+		t.Error("MaxBatch=0 accepted")
+	}
+	bad = testProfile()
+	bad.Alpha = -time.Millisecond
+	if bad.Validate() == nil {
+		t.Error("negative alpha accepted")
+	}
+	// Decreasing measured latencies must be rejected.
+	dec := testProfile().WithPoints([]time.Duration{20 * time.Millisecond, 10 * time.Millisecond})
+	if dec.Validate() == nil {
+		t.Error("decreasing point table accepted")
+	}
+	// Increasing per-item latency must be rejected (throughput drop).
+	inc := testProfile().WithPoints([]time.Duration{10 * time.Millisecond, 30 * time.Millisecond})
+	if inc.Validate() == nil {
+		t.Error("super-linear point table accepted")
+	}
+}
+
+func TestFitLinear(t *testing.T) {
+	alpha, beta := 1500*time.Microsecond, 12*time.Millisecond
+	pts := make([]time.Duration, 32)
+	for b := 1; b <= 32; b++ {
+		pts[b-1] = time.Duration(b)*alpha + beta
+	}
+	a, bt, err := FitLinear(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(a-alpha)) > float64(50*time.Microsecond) {
+		t.Fatalf("alpha = %v, want %v", a, alpha)
+	}
+	if math.Abs(float64(bt-beta)) > float64(200*time.Microsecond) {
+		t.Fatalf("beta = %v, want %v", bt, beta)
+	}
+	if _, _, err := FitLinear(pts[:1]); err == nil {
+		t.Fatal("FitLinear with one point accepted")
+	}
+}
+
+// Property: FitLinear recovers alpha/beta from noiseless linear tables.
+func TestPropertyFitLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alpha := time.Duration(rng.Intn(5000)+100) * time.Microsecond
+		beta := time.Duration(rng.Intn(50)) * time.Millisecond
+		n := rng.Intn(30) + 2
+		pts := make([]time.Duration, n)
+		for b := 1; b <= n; b++ {
+			pts[b-1] = time.Duration(b)*alpha + beta
+		}
+		a, bt, err := FitLinear(pts)
+		if err != nil {
+			return false
+		}
+		return math.Abs(float64(a-alpha)) < float64(alpha)/100+1000 &&
+			math.Abs(float64(bt-beta)) < float64(beta)/100+float64(time.Millisecond)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	p := testProfile()
+	pre, suf := p.Split(0.9)
+	if pre.Alpha+suf.Alpha < p.Alpha-time.Microsecond || pre.Alpha+suf.Alpha > p.Alpha+time.Microsecond {
+		t.Fatalf("alpha not conserved: %v + %v != %v", pre.Alpha, suf.Alpha, p.Alpha)
+	}
+	if pre.Beta+suf.Beta > p.Beta+time.Microsecond {
+		t.Fatalf("beta grew on split: %v + %v > %v", pre.Beta, suf.Beta, p.Beta)
+	}
+	if pre.Alpha < suf.Alpha {
+		t.Fatal("90% prefix should carry most alpha")
+	}
+	if pre.PostprocCPU != 0 || suf.PreprocCPU != 0 {
+		t.Fatal("CPU work should not be duplicated across the split")
+	}
+	// Degenerate fractions clamp.
+	pre, suf = p.Split(-1)
+	if pre.Alpha > suf.Alpha {
+		t.Fatal("Split(-1) should put compute in suffix")
+	}
+	pre, _ = p.Split(2)
+	if pre.Alpha < p.Alpha-time.Microsecond {
+		t.Fatal("Split(2) should put compute in prefix")
+	}
+}
+
+func TestProfileDB(t *testing.T) {
+	db := NewDB()
+	p := testProfile()
+	if err := db.Put(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Get("m", GTX1080Ti)
+	if err != nil || got != p {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if _, err := db.Get("m", V100); err == nil {
+		t.Fatal("missing GPU type accepted")
+	}
+	bad := testProfile()
+	bad.MaxBatch = 0
+	if db.Put(bad) == nil {
+		t.Fatal("invalid profile stored")
+	}
+}
+
+func TestBaseOf(t *testing.T) {
+	cases := map[string]string{
+		"resnet50":      "resnet50",
+		"resnet50-v0":   "resnet50",
+		"resnet50-v12":  "resnet50",
+		"googlenet_car": "googlenet_car",
+		"ssd-variant":   "ssd-variant", // not a -vN suffix
+		"lenet5-v3":     "lenet5",
+		"x-v":           "x-v", // no digits
+	}
+	for in, want := range cases {
+		if got := BaseOf(in); got != want {
+			t.Errorf("BaseOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCatalogProfiles(t *testing.T) {
+	mdb := model.Catalog()
+	if _, err := model.SpecializeFamily(mdb, model.ResNet50, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	db, err := CatalogProfiles(mdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper-reported batch-1 latencies must be honoured on the 1080Ti.
+	cases := map[string]time.Duration{
+		model.ResNet50:     6200 * time.Microsecond,
+		model.Inception4:   7 * time.Millisecond,
+		model.Darknet53:    26300 * time.Microsecond,
+		model.SSD:          47 * time.Millisecond,
+		model.GoogLeNetCar: 4200 * time.Microsecond,
+	}
+	for id, want := range cases {
+		p := db.MustGet(id, GTX1080Ti)
+		got := p.BatchLatency(1)
+		if math.Abs(float64(got-want)) > float64(10*time.Microsecond) {
+			t.Errorf("%s l(1) = %v, want %v", id, got, want)
+		}
+	}
+	// Batching speedup at b=32 must be in the paper's observed range for
+	// the classification models.
+	for _, id := range []string{model.ResNet50, model.Inception4, model.VGG7} {
+		p := db.MustGet(id, GTX1080Ti)
+		gain := p.Throughput(32) / p.Throughput(1)
+		if gain < 4 || gain > 16 {
+			t.Errorf("%s b=32 speedup %.1fx outside [4,16]", id, gain)
+		}
+	}
+	// Variants inherit the base calibration.
+	v := db.MustGet("resnet50-v0", GTX1080Ti)
+	b := db.MustGet(model.ResNet50, GTX1080Ti)
+	if v.Alpha != b.Alpha || v.Beta != b.Beta {
+		t.Error("specialized variant profile differs from base")
+	}
+	// K80 slower than 1080Ti; V100 faster.
+	if db.MustGet(model.ResNet50, K80).BatchLatency(1) <= b.BatchLatency(1) {
+		t.Error("K80 not slower than 1080Ti")
+	}
+	if db.MustGet(model.ResNet50, V100).BatchLatency(1) >= b.BatchLatency(1) {
+		t.Error("V100 not faster than 1080Ti")
+	}
+}
+
+func TestCostPer1000(t *testing.T) {
+	mdb := model.Catalog()
+	db, err := CatalogProfiles(mdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := Specs()
+	p := db.MustGet(model.ResNet50, V100)
+	gpuCost := CostPer1000(p, specs[V100])
+	cpuCost := CostPer1000(p, specs[CPUAVX512])
+	tpuCost := CostPer1000(p, specs[TPUv2])
+	if gpuCost <= 0 || cpuCost <= 0 || tpuCost <= 0 {
+		t.Fatal("costs must be positive")
+	}
+	// Table 1's headline: accelerators are far cheaper per invocation.
+	if cpuCost < 5*gpuCost {
+		t.Errorf("CPU cost %.4f not >> GPU cost %.4f", cpuCost, gpuCost)
+	}
+}
+
+func TestCPULatency(t *testing.T) {
+	lat, err := CPULatency(model.ResNet50)
+	if err != nil || lat != 1130*time.Millisecond {
+		t.Fatalf("CPULatency = %v, %v", lat, err)
+	}
+	if _, err := CPULatency("nope"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestSpecLookup(t *testing.T) {
+	if _, err := Spec(GTX1080Ti); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Spec("imaginary"); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+}

@@ -1,0 +1,335 @@
+package queryopt
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"nexus/internal/profiler"
+	"nexus/internal/scheduler"
+)
+
+// Graph is a general fork-join dataflow DAG. The paper solves latency
+// splitting "for the case of fork-join dependency graphs" but only
+// presents the tree DP (§6.2); this is the general-case optimizer. Nodes
+// may have multiple parents (joins), e.g. a fusion model consuming both a
+// detector's crops and a tracker's embeddings.
+type Graph struct {
+	Name string
+	SLO  time.Duration
+	// Nodes[0] is the root; edges reference nodes by index.
+	Nodes []GraphNode
+}
+
+// GraphNode is one stage of a DAG query.
+type GraphNode struct {
+	Name    string
+	ModelID string
+	Edges   []GraphEdge
+}
+
+// GraphEdge links a node to a downstream stage with a fan-out factor.
+type GraphEdge struct {
+	Gamma float64
+	To    int
+}
+
+// Validate checks shape: nodes named, edges in range, node 0 the unique
+// root, no cycles.
+func (g *Graph) Validate() error {
+	if g.SLO <= 0 {
+		return fmt.Errorf("queryopt: graph %s has non-positive SLO", g.Name)
+	}
+	if len(g.Nodes) == 0 {
+		return fmt.Errorf("queryopt: graph %s has no nodes", g.Name)
+	}
+	names := make(map[string]bool)
+	indeg := make([]int, len(g.Nodes))
+	for i, n := range g.Nodes {
+		if n.Name == "" || n.ModelID == "" {
+			return fmt.Errorf("queryopt: graph %s node %d needs name and model", g.Name, i)
+		}
+		if names[n.Name] {
+			return fmt.Errorf("queryopt: graph %s has duplicate node %q", g.Name, n.Name)
+		}
+		names[n.Name] = true
+		for _, e := range n.Edges {
+			if e.To < 0 || e.To >= len(g.Nodes) {
+				return fmt.Errorf("queryopt: graph %s node %s edge out of range", g.Name, n.Name)
+			}
+			if e.To == i {
+				return fmt.Errorf("queryopt: graph %s node %s has a self-edge", g.Name, n.Name)
+			}
+			if e.Gamma <= 0 || math.IsNaN(e.Gamma) || math.IsInf(e.Gamma, 0) {
+				return fmt.Errorf("queryopt: graph %s node %s has invalid gamma", g.Name, n.Name)
+			}
+			indeg[e.To]++
+		}
+	}
+	if indeg[0] != 0 {
+		return fmt.Errorf("queryopt: graph %s node 0 must be the root (no in-edges)", g.Name)
+	}
+	for i := 1; i < len(g.Nodes); i++ {
+		if indeg[i] == 0 {
+			return fmt.Errorf("queryopt: graph %s node %s unreachable", g.Name, g.Nodes[i].Name)
+		}
+	}
+	if _, err := g.topoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// topoOrder returns a topological ordering or an error on cycles.
+func (g *Graph) topoOrder() ([]int, error) {
+	indeg := make([]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		for _, e := range n.Edges {
+			indeg[e.To]++
+		}
+	}
+	var order []int
+	var queue []int
+	for i := range g.Nodes {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, e := range g.Nodes[v].Edges {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, fmt.Errorf("queryopt: graph %s has a cycle", g.Name)
+	}
+	return order, nil
+}
+
+// Rates returns each node's request rate given the root rate: along each
+// in-edge, parent rate times gamma, summed over parents (a join receives
+// work from every parent).
+func (g *Graph) Rates(rootRate float64) map[string]float64 {
+	order, err := g.topoOrder()
+	if err != nil {
+		return nil
+	}
+	rates := make([]float64, len(g.Nodes))
+	rates[0] = rootRate
+	for _, v := range order {
+		for _, e := range g.Nodes[v].Edges {
+			rates[e.To] += rates[v] * e.Gamma
+		}
+	}
+	out := make(map[string]float64, len(g.Nodes))
+	for i, n := range g.Nodes {
+		out[n.Name] = rates[i]
+	}
+	return out
+}
+
+// depth returns, per node, the maximum number of stages on any root→node
+// path (for the even-split seed).
+func (g *Graph) depth() []int {
+	order, _ := g.topoOrder()
+	d := make([]int, len(g.Nodes))
+	d[0] = 1
+	for _, v := range order {
+		for _, e := range g.Nodes[v].Edges {
+			if d[v]+1 > d[e.To] {
+				d[e.To] = d[v] + 1
+			}
+		}
+	}
+	return d
+}
+
+// maxPathBudget returns the largest total budget along any root→leaf path.
+func (g *Graph) maxPathBudget(budget []time.Duration) time.Duration {
+	order, _ := g.topoOrder()
+	longest := make([]time.Duration, len(g.Nodes))
+	for i := range longest {
+		longest[i] = -1
+	}
+	longest[0] = budget[0]
+	var maxTotal time.Duration
+	for _, v := range order {
+		if longest[v] < 0 {
+			continue
+		}
+		if longest[v] > maxTotal {
+			maxTotal = longest[v]
+		}
+		for _, e := range g.Nodes[v].Edges {
+			if cand := longest[v] + budget[e.To]; cand > longest[e.To] {
+				longest[e.To] = cand
+			}
+		}
+	}
+	return maxTotal
+}
+
+// OptimizeGraph finds a latency split for a fork-join DAG minimizing
+// estimated GPUs, by coordinate descent on the ε-grid: starting from an
+// even split along the deepest path, it repeatedly (a) grows a node's
+// budget when paths permit and (b) transfers ε between nodes, accepting
+// strictly improving moves. For tree-shaped graphs it matches the DP's
+// answer on the same grid in our tests; unlike the DP it also handles
+// joins (nodes with multiple parents).
+func OptimizeGraph(g *Graph, rootRate float64, profiles map[string]*profiler.Profile,
+	eps time.Duration, cfg scheduler.Config) (*Split, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if rootRate <= 0 {
+		return nil, fmt.Errorf("queryopt: non-positive root rate %v", rootRate)
+	}
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	factor := cfg.SLOFactor
+	if factor == 0 {
+		factor = 2
+	}
+	rates := g.Rates(rootRate)
+	n := len(g.Nodes)
+	cost := func(i int, budget time.Duration) (float64, error) {
+		p, ok := profiles[g.Nodes[i].ModelID]
+		if !ok {
+			return 0, fmt.Errorf("queryopt: no profile for model %s", g.Nodes[i].ModelID)
+		}
+		if budget <= 0 {
+			return math.Inf(1), nil
+		}
+		b := p.MaxBatchWithin(time.Duration(float64(budget) / factor))
+		if b == 0 {
+			return math.Inf(1), nil
+		}
+		return rates[g.Nodes[i].Name] / p.Throughput(b), nil
+	}
+
+	// Seed: even split along the deepest path, snapped to the grid.
+	depths := g.depth()
+	maxDepth := 0
+	for _, d := range depths {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	per := (g.SLO / time.Duration(maxDepth) / eps) * eps
+	if per < eps {
+		return nil, fmt.Errorf("queryopt: SLO %v too small for %d stages at epsilon %v", g.SLO, maxDepth, eps)
+	}
+	budget := make([]time.Duration, n)
+	for i := range budget {
+		budget[i] = per
+	}
+	// Grow any node while paths permit (uses slack the even split leaves
+	// on shallow branches).
+	feasible := func() bool { return g.maxPathBudget(budget) <= g.SLO }
+	if !feasible() {
+		return nil, fmt.Errorf("queryopt: internal: even seed infeasible")
+	}
+	costs := make([]float64, n)
+	total := 0.0
+	for i := range budget {
+		c, err := cost(i, budget[i])
+		if err != nil {
+			return nil, err
+		}
+		costs[i] = c
+		total += c
+	}
+	improved := true
+	for iter := 0; improved && iter < 10000; iter++ {
+		improved = false
+		// Move 1: grow a node by ε when all its paths still fit.
+		for i := 0; i < n; i++ {
+			budget[i] += eps
+			if feasible() {
+				c, err := cost(i, budget[i])
+				if err != nil {
+					return nil, err
+				}
+				if c < costs[i]-1e-15 {
+					total += c - costs[i]
+					costs[i] = c
+					improved = true
+					continue
+				}
+			}
+			budget[i] -= eps
+		}
+		// Move 2: transfer ε from node j to node i when it lowers total
+		// cost (path feasibility rechecked).
+		for i := 0; i < n && !improved; i++ {
+			for j := 0; j < n; j++ {
+				if i == j || budget[j] <= eps {
+					continue
+				}
+				budget[i] += eps
+				budget[j] -= eps
+				ci, err := cost(i, budget[i])
+				if err != nil {
+					return nil, err
+				}
+				cj, err := cost(j, budget[j])
+				if err != nil {
+					return nil, err
+				}
+				newTotal := total - costs[i] - costs[j] + ci + cj
+				if feasible() && newTotal < total-1e-12 {
+					costs[i], costs[j] = ci, cj
+					total = newTotal
+					improved = true
+					break
+				}
+				budget[i] -= eps
+				budget[j] += eps
+			}
+		}
+	}
+	if math.IsInf(total, 1) {
+		return nil, fmt.Errorf("queryopt: graph %s infeasible within SLO %v", g.Name, g.SLO)
+	}
+	split := &Split{Budgets: make(map[string]time.Duration, n), GPUs: total}
+	for i, node := range g.Nodes {
+		split.Budgets[node.Name] = budget[i]
+	}
+	return split, nil
+}
+
+// GraphFromTree converts a tree query into the DAG representation.
+func GraphFromTree(q *Query) (*Graph, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Graph{Name: q.Name, SLO: q.SLO}
+	index := make(map[*Node]int)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		index[n] = len(g.Nodes)
+		g.Nodes = append(g.Nodes, GraphNode{Name: n.Name, ModelID: n.ModelID})
+		for _, e := range n.Edges {
+			walk(e.Child)
+		}
+	}
+	walk(q.Root)
+	var link func(n *Node)
+	link = func(n *Node) {
+		for _, e := range n.Edges {
+			g.Nodes[index[n]].Edges = append(g.Nodes[index[n]].Edges, GraphEdge{
+				Gamma: e.Gamma, To: index[e.Child],
+			})
+			link(e.Child)
+		}
+	}
+	link(q.Root)
+	return g, nil
+}

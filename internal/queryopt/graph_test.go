@@ -1,0 +1,233 @@
+package queryopt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nexus/internal/profiler"
+	"nexus/internal/scheduler"
+)
+
+func diamondGraph(slo time.Duration) *Graph {
+	// det fans out to two recognizers that both feed a fusion stage.
+	return &Graph{
+		Name: "diamond", SLO: slo,
+		Nodes: []GraphNode{
+			{Name: "det", ModelID: "mx", Edges: []GraphEdge{{Gamma: 2, To: 1}, {Gamma: 1, To: 2}}},
+			{Name: "recA", ModelID: "my", Edges: []GraphEdge{{Gamma: 1, To: 3}}},
+			{Name: "recB", ModelID: "my", Edges: []GraphEdge{{Gamma: 0.5, To: 3}}},
+			{Name: "fuse", ModelID: "my"},
+		},
+	}
+}
+
+func TestGraphValidate(t *testing.T) {
+	good := diamondGraph(300 * time.Millisecond)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := diamondGraph(0)
+	if bad.Validate() == nil {
+		t.Error("zero SLO accepted")
+	}
+	cyc := &Graph{Name: "c", SLO: time.Second, Nodes: []GraphNode{
+		{Name: "a", ModelID: "m", Edges: []GraphEdge{{Gamma: 1, To: 1}}},
+		{Name: "b", ModelID: "m", Edges: []GraphEdge{{Gamma: 1, To: 0}}},
+	}}
+	if cyc.Validate() == nil {
+		t.Error("cycle accepted (node 0 has an in-edge)")
+	}
+	orphan := &Graph{Name: "o", SLO: time.Second, Nodes: []GraphNode{
+		{Name: "a", ModelID: "m"},
+		{Name: "b", ModelID: "m"},
+	}}
+	if orphan.Validate() == nil {
+		t.Error("unreachable node accepted")
+	}
+	self := &Graph{Name: "s", SLO: time.Second, Nodes: []GraphNode{
+		{Name: "a", ModelID: "m", Edges: []GraphEdge{{Gamma: 1, To: 0}}},
+	}}
+	if self.Validate() == nil {
+		t.Error("self edge accepted")
+	}
+	dup := &Graph{Name: "d", SLO: time.Second, Nodes: []GraphNode{
+		{Name: "a", ModelID: "m", Edges: []GraphEdge{{Gamma: 1, To: 1}}},
+		{Name: "a", ModelID: "m"},
+	}}
+	if dup.Validate() == nil {
+		t.Error("duplicate names accepted")
+	}
+}
+
+func TestGraphRatesJoin(t *testing.T) {
+	g := diamondGraph(300 * time.Millisecond)
+	rates := g.Rates(100)
+	if rates["det"] != 100 || rates["recA"] != 200 || rates["recB"] != 100 {
+		t.Fatalf("rates = %v", rates)
+	}
+	// The join receives work from both parents: 200*1 + 100*0.5.
+	if rates["fuse"] != 250 {
+		t.Fatalf("join rate = %v, want 250", rates["fuse"])
+	}
+}
+
+func TestMaxPathBudget(t *testing.T) {
+	g := diamondGraph(300 * time.Millisecond)
+	b := []time.Duration{100, 50, 80, 30} // det, recA, recB, fuse (ms units below)
+	for i := range b {
+		b[i] *= time.Millisecond
+	}
+	// Longest path det->recB->fuse = 100+80+30 = 210ms.
+	if got := g.maxPathBudget(b); got != 210*time.Millisecond {
+		t.Fatalf("maxPathBudget = %v, want 210ms", got)
+	}
+}
+
+func TestOptimizeGraphDiamond(t *testing.T) {
+	profiles := graphProfiles()
+	g := diamondGraph(300 * time.Millisecond)
+	split, err := OptimizeGraph(g, 100, profiles, 5*time.Millisecond, scheduler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every root-leaf path must respect the SLO.
+	budget := make([]time.Duration, len(g.Nodes))
+	for i, n := range g.Nodes {
+		budget[i] = split.Budgets[n.Name]
+		if budget[i] <= 0 {
+			t.Fatalf("node %s got budget %v", n.Name, budget[i])
+		}
+	}
+	if got := g.maxPathBudget(budget); got > g.SLO {
+		t.Fatalf("path budget %v exceeds SLO", got)
+	}
+	if split.GPUs <= 0 || math.IsInf(split.GPUs, 1) {
+		t.Fatalf("GPUs = %v", split.GPUs)
+	}
+	// The slow detector (mx) should receive the largest budget.
+	if split.Budgets["det"] < split.Budgets["fuse"] {
+		t.Fatalf("det %v < fuse %v", split.Budgets["det"], split.Budgets["fuse"])
+	}
+}
+
+func graphProfiles() map[string]*profiler.Profile {
+	return map[string]*profiler.Profile{
+		"mx": linearProfile("mx", 2*time.Millisecond, 20*time.Millisecond),
+		"my": linearProfile("my", 500*time.Microsecond, 5*time.Millisecond),
+	}
+}
+
+func TestOptimizeGraphMatchesTreeDP(t *testing.T) {
+	profiles := graphProfiles()
+	q := &Query{
+		Name: "chain", SLO: 200 * time.Millisecond,
+		Root: &Node{Name: "x", ModelID: "mx", Edges: []Edge{
+			{Gamma: 2, Child: &Node{Name: "y", ModelID: "my"}},
+		}},
+	}
+	eps := 5 * time.Millisecond
+	dp, err := Optimize(q, 100, profiles, eps, scheduler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := GraphFromTree(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := OptimizeGraph(g, 100, profiles, eps, scheduler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coordinate descent should match the DP's optimum on this small chain
+	// (both on the same grid).
+	if cd.GPUs > dp.GPUs*1.02+1e-9 {
+		t.Fatalf("graph optimizer %.4f GPUs vs DP %.4f", cd.GPUs, dp.GPUs)
+	}
+}
+
+func TestGraphFromTree(t *testing.T) {
+	q := &Query{
+		Name: "t", SLO: 400 * time.Millisecond,
+		Root: &Node{Name: "a", ModelID: "m", Edges: []Edge{
+			{Gamma: 2, Child: &Node{Name: "b", ModelID: "m"}},
+			{Gamma: 0.5, Child: &Node{Name: "c", ModelID: "m", Edges: []Edge{
+				{Gamma: 1, Child: &Node{Name: "d", ModelID: "m"}},
+			}}},
+		}},
+	}
+	g, err := GraphFromTree(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 4 {
+		t.Fatalf("nodes = %d", len(g.Nodes))
+	}
+	// Rates must agree with the tree's.
+	tr := q.Rates(10)
+	gr := g.Rates(10)
+	for name, want := range tr {
+		if math.Abs(gr[name]-want) > 1e-9 {
+			t.Fatalf("rate %s = %v, want %v", name, gr[name], want)
+		}
+	}
+}
+
+func TestOptimizeGraphErrors(t *testing.T) {
+	profiles := graphProfiles()
+	g := diamondGraph(300 * time.Millisecond)
+	if _, err := OptimizeGraph(g, 0, profiles, 0, scheduler.Config{}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := OptimizeGraph(g, 10, map[string]*profiler.Profile{}, 0, scheduler.Config{}); err == nil {
+		t.Error("missing profiles accepted")
+	}
+	tiny := diamondGraph(10 * time.Millisecond) // 3 stages cannot split 10ms at 5ms grid
+	if _, err := OptimizeGraph(tiny, 10, profiles, 5*time.Millisecond, scheduler.Config{}); err == nil {
+		t.Error("impossible grid accepted")
+	}
+}
+
+// Property: for random trees, the graph optimizer's split is feasible and
+// no worse than the even split.
+func TestPropertyGraphOptimizerVsEven(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		profiles := map[string]*profiler.Profile{
+			"a": linearProfile("a", time.Duration(rng.Intn(2000)+200)*time.Microsecond,
+				time.Duration(rng.Intn(15)+2)*time.Millisecond),
+			"b": linearProfile("b", time.Duration(rng.Intn(2000)+200)*time.Microsecond,
+				time.Duration(rng.Intn(15)+2)*time.Millisecond),
+		}
+		q := &Query{Name: "q", SLO: time.Duration(rng.Intn(30)+15) * 10 * time.Millisecond,
+			Root: &Node{Name: "x", ModelID: "a", Edges: []Edge{
+				{Gamma: []float64{0.5, 1, 3}[rng.Intn(3)], Child: &Node{Name: "y", ModelID: "b"}},
+			}}}
+		g, err := GraphFromTree(q)
+		if err != nil {
+			return false
+		}
+		rate := float64(rng.Intn(400) + 10)
+		cd, err := OptimizeGraph(g, rate, profiles, 5*time.Millisecond, scheduler.Config{})
+		if err != nil {
+			return true // infeasible under random profiles is fine
+		}
+		even, err := EvenSplit(q)
+		if err != nil {
+			return false
+		}
+		evenCost, err := SplitCost(q, rate, even, profiles, scheduler.Config{})
+		if err != nil {
+			return false
+		}
+		return cd.GPUs <= evenCost+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

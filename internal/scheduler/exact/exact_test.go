@@ -1,0 +1,239 @@
+package exact
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nexus/internal/profiler"
+	"nexus/internal/scheduler"
+)
+
+func linearProfile(id string, alpha, beta time.Duration) *profiler.Profile {
+	return &profiler.Profile{
+		ModelID: id, GPU: profiler.GTX1080Ti,
+		Alpha: alpha, Beta: beta, MaxBatch: 64,
+		MemBase: 1 << 30, MemPerItem: 4 << 20,
+	}
+}
+
+func TestMinGPUsEmpty(t *testing.T) {
+	n, err := MinGPUs(nil, nil, scheduler.Config{})
+	if err != nil || n != 0 {
+		t.Fatalf("MinGPUs(empty) = %d, %v", n, err)
+	}
+}
+
+func TestMinGPUsSingle(t *testing.T) {
+	profiles := map[string]*profiler.Profile{
+		"m": linearProfile("m", time.Millisecond, 10*time.Millisecond),
+	}
+	sessions := []scheduler.Session{
+		{ID: "s", ModelID: "m", SLO: 200 * time.Millisecond, Rate: 50},
+	}
+	n, err := MinGPUs(sessions, profiles, scheduler.Config{})
+	if err != nil || n != 1 {
+		t.Fatalf("MinGPUs = %d, %v; want 1", n, err)
+	}
+}
+
+func TestMinGPUsTwoHeavySessions(t *testing.T) {
+	// Each session fits one GPU alone (capacity ~360 r/s under the IP) but
+	// two cannot share a duty cycle.
+	profiles := map[string]*profiler.Profile{
+		"m": linearProfile("m", 2*time.Millisecond, 20*time.Millisecond),
+	}
+	sessions := []scheduler.Session{
+		{ID: "s1", ModelID: "m", SLO: 150 * time.Millisecond, Rate: 300},
+		{ID: "s2", ModelID: "m", SLO: 150 * time.Millisecond, Rate: 300},
+	}
+	n, err := MinGPUs(sessions, profiles, scheduler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("MinGPUs = %d, want 2", n)
+	}
+}
+
+func TestMinGPUsLightSessionsShare(t *testing.T) {
+	profiles := map[string]*profiler.Profile{
+		"m": linearProfile("m", time.Millisecond, 5*time.Millisecond),
+	}
+	sessions := []scheduler.Session{
+		{ID: "s1", ModelID: "m", SLO: 300 * time.Millisecond, Rate: 30},
+		{ID: "s2", ModelID: "m", SLO: 300 * time.Millisecond, Rate: 30},
+		{ID: "s3", ModelID: "m", SLO: 300 * time.Millisecond, Rate: 30},
+	}
+	n, err := MinGPUs(sessions, profiles, scheduler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("MinGPUs = %d, want 1", n)
+	}
+}
+
+func TestMinGPUsRejectsOversized(t *testing.T) {
+	sessions := make([]scheduler.Session, MaxSessions+1)
+	for i := range sessions {
+		sessions[i] = scheduler.Session{ID: fmt.Sprint(i), ModelID: "m", SLO: time.Second, Rate: 1}
+	}
+	if _, err := MinGPUs(sessions, nil, scheduler.Config{}); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+// Property: the greedy squishy packer never beats the exact optimum, and is
+// close to it — this is the validation role CPLEX played in the paper.
+func TestPropertyGreedyVsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		profiles := map[string]*profiler.Profile{}
+		nm := rng.Intn(3) + 1
+		for i := 0; i < nm; i++ {
+			id := fmt.Sprintf("m%d", i)
+			profiles[id] = linearProfile(id,
+				time.Duration(rng.Intn(2000)+200)*time.Microsecond,
+				time.Duration(rng.Intn(15)+2)*time.Millisecond)
+		}
+		ns := rng.Intn(5) + 2
+		sessions := make([]scheduler.Session, ns)
+		for i := range sessions {
+			mid := fmt.Sprintf("m%d", rng.Intn(nm))
+			minSLO := 2 * profiles[mid].BatchLatency(1)
+			slo := minSLO + time.Duration(rng.Intn(300)+20)*time.Millisecond
+			// The residual IP assigns each session to exactly one GPU, so
+			// cap its rate below single-GPU capacity T_i (as residual
+			// loads are by construction, §6.1).
+			b := profiles[mid].MaxBatchWithin(slo / 2)
+			cap95 := profiles[mid].Throughput(b) * 0.95
+			rate := (rng.Float64()*0.9 + 0.05) * cap95
+			sessions[i] = scheduler.Session{
+				ID:      fmt.Sprintf("s%d", i),
+				ModelID: mid,
+				SLO:     slo,
+				Rate:    rate,
+			}
+		}
+		cfg := scheduler.Config{}
+		opt, err := MinGPUs(sessions, profiles, cfg)
+		if err != nil {
+			t.Logf("seed %d: exact error %v", seed, err)
+			return false
+		}
+		greedyPlan, err := scheduler.ScheduleResidue(sessions, profiles, cfg)
+		if err != nil {
+			t.Logf("seed %d: greedy error %v", seed, err)
+			return false
+		}
+		greedy := len(greedyPlan)
+		if greedy < opt {
+			t.Logf("seed %d: greedy %d beat exact %d — exact solver bug", seed, greedy, opt)
+			return false
+		}
+		// Greedy should be within 2x + 1 of optimal on these small cases.
+		if greedy > 2*opt+1 {
+			t.Logf("seed %d: greedy %d vs optimal %d", seed, greedy, opt)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceThreePartitionValidation(t *testing.T) {
+	if _, err := ReduceThreePartition(10, []int{3, 3}); err == nil {
+		t.Error("non-multiple-of-3 accepted")
+	}
+	if _, err := ReduceThreePartition(10, []int{2, 4, 4}); err == nil {
+		t.Error("item <= B/4 accepted")
+	}
+	if _, err := ReduceThreePartition(10, []int{3, 3, 3}); err == nil {
+		t.Error("items not summing to n*B accepted")
+	}
+}
+
+// TestFGSPReduction executes the Appendix A proof: a YES 3-PARTITION
+// instance maps to a feasible FGSP instance and a NO instance to an
+// infeasible one.
+func TestFGSPReduction(t *testing.T) {
+	// YES instance: B=100, triples (26,35,39), (30,33,37): both sum 100.
+	yes := []int{26, 35, 39, 30, 33, 37}
+	inst, err := ReduceThreePartition(100, yes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := SolveFGSP(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("YES 3-PARTITION instance mapped to infeasible FGSP")
+	}
+	// NO instance: B=100, items where no partition into triples of sum 100
+	// exists: {26, 26, 26, 48, 37, 37}: sums of triples can be
+	// 26+26+26=78, 26+26+48=100!, hmm — pick a genuinely NO instance:
+	// {30, 30, 30, 30, 40, 40}: sum = 200 = 2*100. Triples:
+	// 30+30+40=100 twice -> YES. Use {27, 27, 27, 33, 43, 43}: sum 200.
+	// possible triples: 27+27+43=97, 27+33+43=103, 27+27+33=87,
+	// 33+43+43=119, 27+43+43=113 -> none equal 100 -> NO.
+	no := []int{27, 27, 27, 33, 43, 43}
+	inst, err = ReduceThreePartition(100, no)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = SolveFGSP(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("NO 3-PARTITION instance mapped to feasible FGSP")
+	}
+}
+
+// Property: random YES instances (constructed from valid triples) always
+// solve; shuffling does not matter.
+func TestPropertyFGSPYesInstances(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bound := 100
+		n := rng.Intn(3) + 1 // up to 9 items (search is exponential)
+		var items []int
+		for i := 0; i < n; i++ {
+			// a + b + c = bound with each in (25, 50).
+			a := rng.Intn(13) + 26 // 26..38
+			b := rng.Intn(13) + 26
+			c := bound - a - b
+			if c <= 25 || c >= 50 {
+				// Re-center: fall back to a known-valid triple.
+				a, b, c = 30, 33, 37
+			}
+			items = append(items, a, b, c)
+		}
+		rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+		inst, err := ReduceThreePartition(bound, items)
+		if err != nil {
+			t.Logf("seed %d: reduce error %v (items %v)", seed, err, items)
+			return false
+		}
+		ok, err := SolveFGSP(inst)
+		if err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveFGSPMismatched(t *testing.T) {
+	if _, err := SolveFGSP(FGSPInstance{Latencies: make([]time.Duration, 2), Bounds: make([]time.Duration, 3), GPUs: 1}); err == nil {
+		t.Fatal("mismatched arrays accepted")
+	}
+}

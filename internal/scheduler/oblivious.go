@@ -1,0 +1,126 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"nexus/internal/profiler"
+)
+
+// BatchOblivious is the baseline scheduler furnished to Clipper and TF
+// Serving in §7.2: it "greedily allocates to each model/SLO a share of the
+// cluster proportional to its request rate and inversely proportional to
+// its maximum single-node throughput". It ignores how co-location and duty
+// cycles interact with batching — the runtime adapts batch sizes on its own.
+//
+// The resulting plan uses Share (fraction of a GPU) rather than duty
+// cycles: Duty is zero and Batch is only a dispatch hint (the largest batch
+// whose execution meets the SLO). Such plans are executed by the baseline
+// backends, not validated by Validate.
+func BatchOblivious(sessions []Session, profiles map[string]*profiler.Profile, gpuCount int, cfg Config) (*Plan, error) {
+	if gpuCount < 1 {
+		return nil, fmt.Errorf("scheduler: BatchOblivious with %d GPUs", gpuCount)
+	}
+	type load struct {
+		s     Session
+		p     *profiler.Profile
+		gpus  float64 // demanded share of the cluster, in GPUs
+		batch int
+	}
+	var loads []load
+	var total float64
+	for _, s := range sortSessions(sessions) {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if s.Rate == 0 {
+			continue
+		}
+		p, ok := profiles[s.ModelID]
+		if !ok {
+			return nil, fmt.Errorf("scheduler: no profile for model %s (session %s)", s.ModelID, s.ID)
+		}
+		// Max single-node throughput, oblivious to SLO interactions.
+		maxTput := p.Throughput(p.MaxBatch)
+		// Dispatch hint: largest batch that executes within the SLO.
+		hint := p.MaxBatchWithin(s.SLO)
+		if hint == 0 {
+			hint = 1
+		}
+		l := load{s: s, p: p, gpus: s.Rate / maxTput, batch: hint}
+		total += l.gpus
+		loads = append(loads, l)
+	}
+	if len(loads) == 0 {
+		return &Plan{}, nil
+	}
+	// Scale demanded shares onto the fixed cluster size.
+	scale := float64(gpuCount) / total
+	for i := range loads {
+		loads[i].gpus *= scale
+	}
+	// Integral replica placement: a session gets round(share) whole
+	// containers (at least one); each replica lands on the GPU with the
+	// most free compute share that can fit the model in memory. Containers
+	// are not fractional — the baseline cannot pool a session's load
+	// across the whole cluster the way a hypothetical fluid split would.
+	sort.SliceStable(loads, func(i, j int) bool { return loads[i].gpus > loads[j].gpus })
+	plan := &Plan{GPUs: make([]GPUPlan, gpuCount)}
+	free := make([]float64, gpuCount)
+	memFree := make([]int64, gpuCount)
+	for i := range free {
+		free[i] = 1
+		memFree[i] = cfg.GPUMemBytes
+	}
+	for _, l := range loads {
+		replicas := int(l.gpus + 0.5)
+		if replicas < 1 {
+			replicas = 1
+		}
+		if replicas > gpuCount {
+			replicas = gpuCount
+		}
+		perShare := l.gpus / float64(replicas)
+		memNeed := l.p.MemBase + int64(l.batch)*l.p.MemPerItem
+		used := make(map[int]bool, replicas)
+		for r := 0; r < replicas; r++ {
+			best := -1
+			for g := 0; g < gpuCount; g++ {
+				if used[g] {
+					continue
+				}
+				if cfg.GPUMemBytes > 0 && memFree[g] < memNeed {
+					continue
+				}
+				if best == -1 || free[g] > free[best] {
+					best = g
+				}
+			}
+			if best == -1 {
+				if r > 0 {
+					break // serve with fewer replicas than ideal
+				}
+				return nil, fmt.Errorf("scheduler: no GPU has memory for model %s", l.s.ModelID)
+			}
+			used[best] = true
+			free[best] -= perShare
+			memFree[best] -= memNeed
+			plan.GPUs[best].Allocs = append(plan.GPUs[best].Allocs, Alloc{
+				SessionID: l.s.ID,
+				ModelID:   l.s.ModelID,
+				Batch:     l.batch,
+				Rate:      l.s.Rate / float64(replicas),
+				Share:     perShare,
+			})
+		}
+	}
+	// Drop unused bins so GPUCount reflects reality.
+	used := plan.GPUs[:0]
+	for _, g := range plan.GPUs {
+		if len(g.Allocs) > 0 {
+			used = append(used, g)
+		}
+	}
+	plan.GPUs = used
+	return plan, nil
+}

@@ -1,0 +1,301 @@
+package scheduler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"nexus/internal/profiler"
+)
+
+// Pack runs squishy bin packing (Algorithm 1): it saturates whole GPUs for
+// large sessions, then best-fit-decreasing merges the residual loads into
+// shared duty cycles. The returned plan always passes Validate for the
+// given sessions, profiles and config.
+func Pack(sessions []Session, profiles map[string]*profiler.Profile, cfg Config) (*Plan, error) {
+	nodes, residue, err := ScheduleSaturate(sessions, profiles, cfg)
+	if err != nil {
+		return nil, err
+	}
+	resNodes, err := ScheduleResidue(residue, profiles, cfg)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{GPUs: append(nodes, resNodes...)}
+	for i := range plan.GPUs {
+		plan.GPUs[i].ID = fmt.Sprintf("n%d", i)
+	}
+	return plan, nil
+}
+
+// ScheduleSaturate allocates whole GPUs to sessions with enough load to
+// saturate them (Algorithm 1, lines 4-11). It returns the saturated nodes
+// and the residual per-session loads still to be packed.
+func ScheduleSaturate(sessions []Session, profiles map[string]*profiler.Profile, cfg Config) ([]GPUPlan, []Session, error) {
+	var nodes []GPUPlan
+	var residue []Session
+	for _, s := range sortSessions(sessions) {
+		if err := s.Validate(); err != nil {
+			return nil, nil, err
+		}
+		if s.Rate == 0 {
+			continue
+		}
+		p, ok := profiles[s.ModelID]
+		if !ok {
+			return nil, nil, fmt.Errorf("scheduler: no profile for model %s (session %s)", s.ModelID, s.ID)
+		}
+		// B = argmax{b : factor*ℓ(b) <= SLO}; worst case is one full
+		// batch of waiting plus one of execution (§4.1).
+		maxLat := time.Duration(float64(s.SLO) / cfg.sloFactor())
+		b := p.MaxBatchWithin(maxLat)
+		if b == 0 {
+			return nil, nil, fmt.Errorf("scheduler: session %s infeasible: %v*l(1)=%v exceeds SLO %v",
+				s.ID, cfg.sloFactor(), time.Duration(cfg.sloFactor()*float64(p.BatchLatency(1))), s.SLO)
+		}
+		t := p.Throughput(b)
+		n := int(s.Rate / t)
+		for i := 0; i < n; i++ {
+			nodes = append(nodes, GPUPlan{
+				Duty:      p.BatchLatency(b),
+				Saturated: true,
+				Allocs: []Alloc{{
+					SessionID: s.ID, ModelID: s.ModelID, Batch: b, Rate: t,
+				}},
+			})
+		}
+		if r := s.Rate - float64(n)*t; r > rateEpsilon {
+			rs := s
+			rs.Rate = r
+			residue = append(residue, rs)
+		}
+	}
+	return nodes, residue, nil
+}
+
+// residualAlloc is the initial single-session allocation of a residual
+// load (Algorithm 1, lines 12-15): the largest batch b whose duty cycle
+// b/r plus execution still meets the SLO.
+type residualAlloc struct {
+	session Session
+	profile *profiler.Profile
+	batch   int
+	duty    time.Duration
+	occ     float64
+}
+
+// ResidualBatch computes the batch size and duty cycle for a residual load
+// of the given rate under the SLO: the largest b with ℓ(b) + b/rate <= SLO.
+// Low-rate sessions for which even b=1 cannot fill a duty cycle in time run
+// at batch 1 with the duty cycle clamped to SLO - ℓ(1).
+func ResidualBatch(p *profiler.Profile, slo time.Duration, rate float64) (batch int, duty time.Duration, err error) {
+	if rate <= 0 {
+		return 0, 0, fmt.Errorf("scheduler: ResidualBatch with rate %v", rate)
+	}
+	gather := func(b int) time.Duration {
+		return time.Duration(float64(b) / rate * float64(time.Second))
+	}
+	feasible := func(b int) bool { return p.BatchLatency(b)+gather(b) <= slo }
+	if !feasible(1) {
+		// Too few requests to fill even a single-item duty cycle within
+		// the SLO: run batch 1 whenever work arrives, with the duty cycle
+		// bounded so worst-case latency still meets the SLO.
+		duty = slo - p.BatchLatency(1)
+		if duty <= 0 {
+			return 0, 0, fmt.Errorf("scheduler: SLO %v below batch-1 latency %v for %s",
+				slo, p.BatchLatency(1), p.ModelID)
+		}
+		return 1, duty, nil
+	}
+	lo, hi := 1, p.MaxBatch
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, gather(lo), nil
+}
+
+// ResidualPlacement expands one residual load into zero or more dedicated
+// nodes plus at most one shareable allocation. The paper's batch choice
+// (line 13) can select a batch whose execution latency exceeds its gather
+// time b/r — a load no shared duty cycle can sustain (occupancy would top
+// 1). Such loads get a dedicated node running the saturate batch
+// back-to-back (worst case 2ℓ(B) <= SLO, §4.1), and only a sustainable
+// remainder, if any, becomes a shareable residual allocation.
+func ResidualPlacement(s Session, p *profiler.Profile, cfg Config) (dedicated []GPUPlan, rest *residualAlloc, err error) {
+	rate := s.Rate
+	for iter := 0; rate > rateEpsilon; iter++ {
+		if iter > 10000 {
+			return nil, nil, fmt.Errorf("scheduler: residual placement for %s did not converge", s.ID)
+		}
+		b, d, err := ResidualBatch(p, s.SLO, rate)
+		if err != nil {
+			return nil, nil, err
+		}
+		lat := p.BatchLatency(b)
+		if lat <= d {
+			rs := s
+			rs.Rate = rate
+			return dedicated, &residualAlloc{
+				session: rs, profile: p, batch: b, duty: d,
+				occ: float64(lat) / float64(d),
+			}, nil
+		}
+		// Unsustainable as a shared allocation: dedicate a saturated node.
+		maxLat := time.Duration(float64(s.SLO) / cfg.sloFactor())
+		bSat := p.MaxBatchWithin(maxLat)
+		if bSat == 0 {
+			return nil, nil, fmt.Errorf("scheduler: session %s infeasible under SLO %v", s.ID, s.SLO)
+		}
+		tput := p.Throughput(bSat)
+		serve := rate
+		if serve > tput {
+			serve = tput
+		}
+		dedicated = append(dedicated, GPUPlan{
+			Duty:      p.BatchLatency(bSat),
+			Saturated: true,
+			Allocs:    []Alloc{{SessionID: s.ID, ModelID: s.ModelID, Batch: bSat, Rate: serve}},
+		})
+		rate -= serve
+	}
+	return dedicated, nil, nil
+}
+
+// ScheduleResidue packs residual loads into shared nodes (Algorithm 1,
+// lines 12-30): initial max-batch allocations, sorted by occupancy
+// descending, merged best-fit into existing duty cycles.
+func ScheduleResidue(residue []Session, profiles map[string]*profiler.Profile, cfg Config) ([]GPUPlan, error) {
+	allocs := make([]residualAlloc, 0, len(residue))
+	var dedicated []GPUPlan
+	for _, s := range sortSessions(residue) {
+		if s.Rate <= 0 {
+			continue
+		}
+		p, ok := profiles[s.ModelID]
+		if !ok {
+			return nil, fmt.Errorf("scheduler: no profile for model %s (session %s)", s.ModelID, s.ID)
+		}
+		ded, rest, err := ResidualPlacement(s, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		dedicated = append(dedicated, ded...)
+		if rest != nil {
+			allocs = append(allocs, *rest)
+		}
+	}
+	// Best-fit decreasing by occupancy (line 16).
+	sort.SliceStable(allocs, func(i, j int) bool {
+		if allocs[i].occ != allocs[j].occ {
+			return allocs[i].occ > allocs[j].occ
+		}
+		return allocs[i].session.ID < allocs[j].session.ID
+	})
+	var nodes []*resNode
+	for i := range allocs {
+		item := &resNode{duty: allocs[i].duty, allocs: []residualAlloc{allocs[i]}}
+		item.computeOcc()
+		bestIdx := -1
+		var best *resNode
+		for ni, n := range nodes {
+			merged, ok := mergeNodes(n, item, cfg)
+			if ok && (best == nil || merged.occ > best.occ) {
+				best, bestIdx = merged, ni
+			}
+		}
+		if best != nil {
+			nodes[bestIdx] = best
+		} else {
+			nodes = append(nodes, item)
+		}
+	}
+	out := make([]GPUPlan, 0, len(nodes)+len(dedicated))
+	out = append(out, dedicated...)
+	for _, n := range nodes {
+		out = append(out, n.toPlan())
+	}
+	return out, nil
+}
+
+// resNode is a shared GPU node under construction.
+type resNode struct {
+	duty   time.Duration
+	allocs []residualAlloc
+	occ    float64
+	planID string // stable node ID, used by incremental scheduling
+}
+
+func (n *resNode) computeOcc() {
+	var busy time.Duration
+	for _, a := range n.allocs {
+		busy += a.profile.BatchLatency(a.batch)
+	}
+	n.occ = float64(busy) / float64(n.duty)
+}
+
+func (n *resNode) memBytes() int64 {
+	var sum int64
+	for _, a := range n.allocs {
+		sum += a.profile.MemBase + int64(a.batch)*a.profile.MemPerItem
+	}
+	return sum
+}
+
+func (n *resNode) toPlan() GPUPlan {
+	g := GPUPlan{Duty: n.duty}
+	for _, a := range n.allocs {
+		g.Allocs = append(g.Allocs, Alloc{
+			SessionID: a.session.ID,
+			ModelID:   a.session.ModelID,
+			Batch:     a.batch,
+			Rate:      a.session.Rate,
+		})
+	}
+	return g
+}
+
+// mergeNodes attempts to combine two nodes into one duty cycle (Figure 7):
+// the new duty cycle is the smaller of the two, every session's batch size
+// is recomputed as ceil(duty*rate) (which only shrinks batches, so SLOs
+// are preserved), and the merge succeeds if the batch executions fit within
+// the new duty cycle and memory capacity permits.
+func mergeNodes(a, b *resNode, cfg Config) (*resNode, bool) {
+	duty := a.duty
+	if b.duty < duty {
+		duty = b.duty
+	}
+	merged := &resNode{duty: duty}
+	var busy time.Duration
+	for _, src := range [][]residualAlloc{a.allocs, b.allocs} {
+		for _, al := range src {
+			nb := int(math.Ceil(duty.Seconds()*al.session.Rate - 1e-12))
+			if nb < 1 {
+				nb = 1
+			}
+			if nb > al.profile.MaxBatch {
+				return nil, false
+			}
+			lat := al.profile.BatchLatency(nb)
+			if duty+lat > al.session.SLO {
+				return nil, false
+			}
+			busy += lat
+			al.batch = nb
+			merged.allocs = append(merged.allocs, al)
+		}
+	}
+	if busy > duty {
+		return nil, false
+	}
+	if cfg.GPUMemBytes > 0 && merged.memBytes() > cfg.GPUMemBytes {
+		return nil, false
+	}
+	merged.computeOcc()
+	return merged, true
+}

@@ -1,0 +1,224 @@
+// Package simclock provides a deterministic discrete-event simulation engine.
+//
+// All Nexus components (GPU devices, backends, frontends, the global
+// scheduler, and workload generators) are driven by a single Clock. Events
+// are executed in timestamp order; events with equal timestamps run in the
+// order they were scheduled, which makes every simulation fully
+// deterministic and lets thousand-second deployments replay in milliseconds
+// of wall time.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is a discrete-event simulation clock. The zero value is not usable;
+// call New.
+type Clock struct {
+	now   time.Duration
+	queue eventQueue
+	seq   uint64
+	// stepped counts executed events, for diagnostics and runaway detection.
+	stepped uint64
+	// limit aborts Run after this many events when non-zero.
+	limit uint64
+}
+
+// Timer is a handle to a scheduled event. It can be cancelled before firing.
+type Timer struct {
+	event *event
+}
+
+// Stop cancels the timer. It reports whether the call prevented the event
+// from firing (false if it already fired or was already stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.event == nil || t.event.cancelled || t.event.fired {
+		return false
+	}
+	t.event.cancelled = true
+	return true
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+	index     int // heap index
+}
+
+// New returns a clock starting at time zero with an empty event queue.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (c *Clock) Pending() int {
+	n := 0
+	for _, e := range c.queue {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Executed returns the total number of events that have fired.
+func (c *Clock) Executed() uint64 { return c.stepped }
+
+// SetEventLimit aborts Run/RunUntil with a panic after n events (0 disables).
+// It is a guard against runaway simulations in tests.
+func (c *Clock) SetEventLimit(n uint64) { c.limit = n }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: a discrete-event simulation must never travel backwards, and a
+// past timestamp always indicates a bug in the caller.
+func (c *Clock) At(t time.Duration, fn func()) *Timer {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: scheduling at %v, before now %v", t, c.now))
+	}
+	e := &event{at: t, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.queue, e)
+	return &Timer{event: e}
+}
+
+// After schedules fn to run d from now. Negative d is clamped to zero.
+func (c *Clock) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return c.At(c.now+d, fn)
+}
+
+// Step executes the next event, advancing the clock to its timestamp.
+// It reports whether an event was executed (false when the queue is empty).
+func (c *Clock) Step() bool {
+	for len(c.queue) > 0 {
+		e := heap.Pop(&c.queue).(*event)
+		if e.cancelled {
+			continue
+		}
+		c.now = e.at
+		e.fired = true
+		c.stepped++
+		if c.limit != 0 && c.stepped > c.limit {
+			panic(fmt.Sprintf("simclock: event limit %d exceeded at t=%v", c.limit, c.now))
+		}
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled at t by events that run at t are executed.
+func (c *Clock) RunUntil(t time.Duration) {
+	for {
+		e := c.peek()
+		if e == nil || e.at > t {
+			break
+		}
+		c.Step()
+	}
+	if t > c.now {
+		c.now = t
+	}
+}
+
+func (c *Clock) peek() *event {
+	for len(c.queue) > 0 {
+		if c.queue[0].cancelled {
+			heap.Pop(&c.queue)
+			continue
+		}
+		return c.queue[0]
+	}
+	return nil
+}
+
+// Ticker invokes fn every period until stopped. The first invocation is one
+// period from the time StartTicker is called.
+type Ticker struct {
+	clock   *Clock
+	period  time.Duration
+	fn      func()
+	timer   *Timer
+	stopped bool
+}
+
+// StartTicker schedules fn to run every period of virtual time.
+// It panics if period is not positive.
+func (c *Clock) StartTicker(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("simclock: ticker period must be positive")
+	}
+	t := &Ticker{clock: c, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.timer = t.clock.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}

@@ -1,0 +1,271 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyClock(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("new clock Now = %v, want 0", c.Now())
+	}
+	if c.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+	c.RunUntil(5 * time.Second)
+	if c.Now() != 5*time.Second {
+		t.Fatalf("RunUntil advanced to %v, want 5s", c.Now())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	c := New()
+	var got []int
+	c.At(30*time.Millisecond, func() { got = append(got, 3) })
+	c.At(10*time.Millisecond, func() { got = append(got, 1) })
+	c.At(20*time.Millisecond, func() { got = append(got, 2) })
+	c.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if c.Now() != 30*time.Millisecond {
+		t.Fatalf("final time %v, want 30ms", c.Now())
+	}
+}
+
+func TestFIFOAtSameTimestamp(t *testing.T) {
+	c := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	c.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-timestamp events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	c := New()
+	var fired []time.Duration
+	c.After(10*time.Millisecond, func() {
+		fired = append(fired, c.Now())
+		c.After(5*time.Millisecond, func() {
+			fired = append(fired, c.Now())
+		})
+	})
+	c.Run()
+	if len(fired) != 2 || fired[0] != 10*time.Millisecond || fired[1] != 15*time.Millisecond {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	c := New()
+	c.At(10*time.Millisecond, func() {})
+	c.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	c.At(5*time.Millisecond, func() {})
+}
+
+func TestNegativeAfterClamped(t *testing.T) {
+	c := New()
+	c.At(10*time.Millisecond, func() {
+		c.After(-time.Second, func() {})
+	})
+	c.Run() // must not panic
+}
+
+func TestTimerStop(t *testing.T) {
+	c := New()
+	fired := false
+	timer := c.After(10*time.Millisecond, func() { fired = true })
+	if !timer.Stop() {
+		t.Fatal("first Stop returned false")
+	}
+	if timer.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	c.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	c := New()
+	timer := c.After(time.Millisecond, func() {})
+	c.Run()
+	if timer.Stop() {
+		t.Fatal("Stop after firing returned true")
+	}
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	c := New()
+	var fired []int
+	c.At(10*time.Millisecond, func() { fired = append(fired, 1) })
+	c.At(20*time.Millisecond, func() { fired = append(fired, 2) })
+	c.At(30*time.Millisecond, func() { fired = append(fired, 3) })
+	c.RunUntil(20 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10ms and 20ms only", fired)
+	}
+	if c.Now() != 20*time.Millisecond {
+		t.Fatalf("Now = %v, want 20ms", c.Now())
+	}
+	c.Run()
+	if len(fired) != 3 {
+		t.Fatalf("remaining event did not fire: %v", fired)
+	}
+}
+
+func TestRunUntilExecutesEventsScheduledAtBoundary(t *testing.T) {
+	c := New()
+	var fired []string
+	c.At(10*time.Millisecond, func() {
+		fired = append(fired, "a")
+		c.At(10*time.Millisecond, func() { fired = append(fired, "b") })
+	})
+	c.RunUntil(10 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want both events at the boundary", fired)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	c := New()
+	var ticks []time.Duration
+	tk := c.StartTicker(10*time.Millisecond, func() {
+		ticks = append(ticks, c.Now())
+	})
+	c.RunUntil(25 * time.Millisecond)
+	tk.Stop()
+	c.RunUntil(100 * time.Millisecond)
+	if len(ticks) != 2 || ticks[0] != 10*time.Millisecond || ticks[1] != 20*time.Millisecond {
+		t.Fatalf("got ticks %v, want [10ms 20ms]", ticks)
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	c := New()
+	count := 0
+	var tk *Ticker
+	tk = c.StartTicker(time.Millisecond, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	c.RunUntil(time.Second)
+	if count != 3 {
+		t.Fatalf("ticker fired %d times after self-stop, want 3", count)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-period ticker did not panic")
+		}
+	}()
+	c.StartTicker(0, func() {})
+}
+
+func TestEventLimit(t *testing.T) {
+	c := New()
+	c.SetEventLimit(10)
+	var reschedule func()
+	reschedule = func() { c.After(time.Millisecond, reschedule) }
+	c.After(time.Millisecond, reschedule)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("event limit exceeded did not panic")
+		}
+	}()
+	c.Run()
+}
+
+func TestExecutedCount(t *testing.T) {
+	c := New()
+	for i := 0; i < 5; i++ {
+		c.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	c.Run()
+	if c.Executed() != 5 {
+		t.Fatalf("Executed = %d, want 5", c.Executed())
+	}
+}
+
+func TestPendingExcludesCancelled(t *testing.T) {
+	c := New()
+	c.After(time.Millisecond, func() {})
+	tm := c.After(2*time.Millisecond, func() {})
+	tm.Stop()
+	if c.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", c.Pending())
+	}
+}
+
+// Property: events always fire in non-decreasing timestamp order, and ties
+// fire in scheduling order, for any random schedule.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New()
+		count := int(n%64) + 1
+		type rec struct {
+			at  time.Duration
+			seq int
+		}
+		var fired []rec
+		for i := 0; i < count; i++ {
+			at := time.Duration(rng.Intn(50)) * time.Millisecond
+			i := i
+			c.At(at, func() {
+				fired = append(fired, rec{c.Now(), i})
+			})
+		}
+		c.Run()
+		if len(fired) != count {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].at != fired[j].at {
+				return fired[i].at < fired[j].at
+			}
+			return fired[i].seq < fired[j].seq
+		}) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := New()
+		for j := 0; j < 1000; j++ {
+			c.After(time.Duration(j%97)*time.Millisecond, func() {})
+		}
+		c.Run()
+	}
+}

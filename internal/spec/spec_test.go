@@ -1,0 +1,135 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const goodSpec = `{
+  "system": "nexus",
+  "gpus": 8,
+  "epoch_sec": 10,
+  "seed": 3,
+  "fixed": true,
+  "specialize": [{"base": "resnet50", "count": 2, "retrain": 1, "start": 500}],
+  "sessions": [
+    {"id": "a", "model": "resnet50-v500", "slo_ms": 100, "rate": 200},
+    {"id": "b", "model": "resnet50-v501", "slo_ms": 100, "rate": 100, "arrival": "poisson"}
+  ],
+  "queries": [
+    {"name": "q", "slo_ms": 400, "rate": 20, "root": {
+      "name": "det", "model": "ssd",
+      "children": [{"gamma": 1.5, "node": {"name": "rec", "model": "googlenet_car"}}]
+    }}
+  ]
+}`
+
+func TestParseGood(t *testing.T) {
+	d, err := Parse(strings.NewReader(goodSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.GPUs != 8 || len(d.Sessions) != 2 || len(d.Queries) != 1 {
+		t.Fatalf("parsed = %+v", d)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse(strings.NewReader(`{"gpus": 1, "bogus": 2, "sessions": [{"id":"a","model":"m","slo_ms":1,"rate":1}]}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"no gpus", `{"sessions":[{"id":"a","model":"m","slo_ms":1,"rate":1}]}`},
+		{"bad system", `{"gpus":1,"system":"zz","sessions":[{"id":"a","model":"m","slo_ms":1,"rate":1}]}`},
+		{"empty workload", `{"gpus":1}`},
+		{"session no id", `{"gpus":1,"sessions":[{"model":"m","slo_ms":1,"rate":1}]}`},
+		{"duplicate id", `{"gpus":1,"sessions":[{"id":"a","model":"m","slo_ms":1,"rate":1},{"id":"a","model":"m","slo_ms":1,"rate":1}]}`},
+		{"zero slo", `{"gpus":1,"sessions":[{"id":"a","model":"m","slo_ms":0,"rate":1}]}`},
+		{"bad arrival", `{"gpus":1,"sessions":[{"id":"a","model":"m","slo_ms":1,"rate":1,"arrival":"burst"}]}`},
+		{"query no name", `{"gpus":1,"queries":[{"slo_ms":1,"rate":1,"root":{"name":"x","model":"m"}}]}`},
+		{"node no model", `{"gpus":1,"queries":[{"name":"q","slo_ms":1,"rate":1,"root":{"name":"x"}}]}`},
+		{"zero gamma", `{"gpus":1,"queries":[{"name":"q","slo_ms":1,"rate":1,"root":{"name":"x","model":"m","children":[{"gamma":0,"node":{"name":"y","model":"m"}}]}}]}`},
+		{"specialize no base", `{"gpus":1,"specialize":[{"count":1}],"sessions":[{"id":"a","model":"m","slo_ms":1,"rate":1}]}`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestBuildAndRun(t *testing.T) {
+	d, err := Parse(strings.NewReader(goodSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := d.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := dep.Run(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad > 0.02 {
+		t.Fatalf("bad rate %.4f", bad)
+	}
+	// Both specialized sessions and the query stages served traffic.
+	for _, sid := range []string{"a", "b", "q/det", "q/rec"} {
+		if dep.Recorder.Session(sid).Sent == 0 {
+			t.Fatalf("session %s saw no traffic", sid)
+		}
+	}
+}
+
+func TestBuildUnknownModel(t *testing.T) {
+	doc := `{"gpus":1,"sessions":[{"id":"a","model":"ghost","slo_ms":100,"rate":1}]}`
+	d, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Build(); err == nil {
+		t.Fatal("unknown model accepted at build")
+	}
+}
+
+func TestBuildDefaults(t *testing.T) {
+	doc := `{"gpus":2,"sessions":[{"id":"a","model":"googlenet_car","slo_ms":100,"rate":50}]}`
+	d, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := d.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if dep.Recorder.Session("a").Sent == 0 {
+		t.Fatal("no traffic with default system/GPU/arrival")
+	}
+}
+
+func TestFeaturesOverride(t *testing.T) {
+	doc := `{"gpus":2,
+		"features":{"prefix_batch":false,"squishy":true,"early_drop":true,"overlap":true,"query_analysis":false},
+		"sessions":[{"id":"a","model":"googlenet_car","slo_ms":100,"rate":50}]}`
+	d, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Features == nil || d.Features.PrefixBatch || !d.Features.Squishy {
+		t.Fatalf("features = %+v", d.Features)
+	}
+	if _, err := d.Build(); err != nil {
+		t.Fatal(err)
+	}
+}

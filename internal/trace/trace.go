@@ -1,0 +1,192 @@
+// Package trace records the lifecycle of requests moving through a Nexus
+// deployment: arrival at the frontend, dispatch to a backend, batch
+// execution, and completion or drop. Traces support debugging scheduling
+// pathologies (which node dropped, after how long in queue, at what batch
+// size) and power the nexus-sim CLI's --trace output.
+//
+// Tracing is allocation-conscious: events go into a fixed-capacity ring
+// buffer, and a nil *Tracer is a valid no-op so the data plane never
+// branches on configuration.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds, in lifecycle order.
+const (
+	Arrive   Kind = "arrive"   // request entered the frontend
+	Dispatch Kind = "dispatch" // routed to a backend unit
+	Execute  Kind = "execute"  // included in a batch submitted to the GPU
+	Complete Kind = "complete" // response delivered
+	Drop     Kind = "drop"     // dropped (admission control or deadline)
+)
+
+// Event is one lifecycle record.
+type Event struct {
+	At      time.Duration `json:"at"`
+	Kind    Kind          `json:"kind"`
+	ReqID   uint64        `json:"req"`
+	Session string        `json:"session,omitempty"`
+	Backend string        `json:"backend,omitempty"`
+	Unit    string        `json:"unit,omitempty"`
+	Batch   int           `json:"batch,omitempty"`
+	Detail  string        `json:"detail,omitempty"`
+}
+
+// Tracer is a bounded in-memory event recorder. A nil Tracer discards
+// events. Tracer is not safe for concurrent use; the simulation is
+// single-threaded by design.
+type Tracer struct {
+	events []Event
+	next   int
+	filled bool
+	total  uint64
+	filter func(Event) bool
+}
+
+// New creates a tracer holding up to capacity events (older events are
+// overwritten). Capacity below 1 panics.
+func New(capacity int) *Tracer {
+	if capacity < 1 {
+		panic("trace: capacity must be >= 1")
+	}
+	return &Tracer{events: make([]Event, capacity)}
+}
+
+// SetFilter installs a predicate; events failing it are discarded.
+// A nil predicate accepts everything.
+func (t *Tracer) SetFilter(f func(Event) bool) {
+	if t == nil {
+		return
+	}
+	t.filter = f
+}
+
+// Record appends an event (no-op on a nil tracer).
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	if t.filter != nil && !t.filter(e) {
+		return
+	}
+	t.events[t.next] = e
+	t.next++
+	t.total++
+	if t.next == len(t.events) {
+		t.next = 0
+		t.filled = true
+	}
+}
+
+// Total returns how many events were recorded (including overwritten ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Events returns the retained events in chronological order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if !t.filled {
+		out := make([]Event, t.next)
+		copy(out, t.events[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.next:]...)
+	out = append(out, t.events[:t.next]...)
+	return out
+}
+
+// ByRequest groups retained events per request ID, each group in order.
+func (t *Tracer) ByRequest() map[uint64][]Event {
+	out := make(map[uint64][]Event)
+	for _, e := range t.Events() {
+		out[e.ReqID] = append(out[e.ReqID], e)
+	}
+	return out
+}
+
+// RequestLatency reconstructs, for every completed request retained in the
+// buffer, the arrival-to-completion latency.
+func (t *Tracer) RequestLatency() map[uint64]time.Duration {
+	out := make(map[uint64]time.Duration)
+	arrivals := make(map[uint64]time.Duration)
+	for _, e := range t.Events() {
+		switch e.Kind {
+		case Arrive:
+			arrivals[e.ReqID] = e.At
+		case Complete:
+			if at, ok := arrivals[e.ReqID]; ok {
+				out[e.ReqID] = e.At - at
+			}
+		}
+	}
+	return out
+}
+
+// WriteJSON streams retained events as a JSON array.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t.Events())
+}
+
+// WriteText renders retained events human-readably, one per line.
+func (t *Tracer) WriteText(w io.Writer) error {
+	for _, e := range t.Events() {
+		var err error
+		switch e.Kind {
+		case Execute:
+			_, err = fmt.Fprintf(w, "%-14v %-9s req=%-8d %s unit=%s batch=%d\n",
+				e.At, e.Kind, e.ReqID, e.Backend, e.Unit, e.Batch)
+		case Drop:
+			_, err = fmt.Fprintf(w, "%-14v %-9s req=%-8d %s %s\n",
+				e.At, e.Kind, e.ReqID, e.Session, e.Detail)
+		default:
+			_, err = fmt.Fprintf(w, "%-14v %-9s req=%-8d %s %s\n",
+				e.At, e.Kind, e.ReqID, e.Session, e.Backend)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary aggregates retained events by kind.
+func (t *Tracer) Summary() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range t.Events() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Sessions lists the distinct sessions seen in retained events, sorted.
+func (t *Tracer) Sessions() []string {
+	set := make(map[string]bool)
+	for _, e := range t.Events() {
+		if e.Session != "" {
+			set[e.Session] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

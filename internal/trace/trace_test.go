@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ev(at int, kind Kind, req uint64) Event {
+	return Event{At: time.Duration(at) * time.Millisecond, Kind: kind, ReqID: req, Session: "s"}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Record(ev(1, Arrive, 1)) // must not panic
+	tr.SetFilter(func(Event) bool { return true })
+	if tr.Total() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer should report nothing")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 accepted")
+		}
+	}()
+	New(0)
+}
+
+func TestRecordAndOrder(t *testing.T) {
+	tr := New(10)
+	tr.Record(ev(1, Arrive, 1))
+	tr.Record(ev(2, Dispatch, 1))
+	tr.Record(ev(3, Complete, 1))
+	got := tr.Events()
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0].Kind != Arrive || got[2].Kind != Complete {
+		t.Fatalf("order wrong: %+v", got)
+	}
+	if tr.Total() != 3 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(ev(i, Arrive, uint64(i)))
+	}
+	got := tr.Events()
+	if len(got) != 3 {
+		t.Fatalf("retained %d, want 3", len(got))
+	}
+	// Oldest retained is event 2.
+	if got[0].ReqID != 2 || got[2].ReqID != 4 {
+		t.Fatalf("ring order wrong: %+v", got)
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", tr.Total())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := New(10)
+	tr.SetFilter(func(e Event) bool { return e.Kind == Drop })
+	tr.Record(ev(1, Arrive, 1))
+	tr.Record(ev(2, Drop, 1))
+	if len(tr.Events()) != 1 || tr.Events()[0].Kind != Drop {
+		t.Fatalf("filter failed: %+v", tr.Events())
+	}
+}
+
+func TestByRequestAndLatency(t *testing.T) {
+	tr := New(16)
+	tr.Record(ev(10, Arrive, 7))
+	tr.Record(ev(11, Dispatch, 7))
+	tr.Record(ev(12, Arrive, 8))
+	tr.Record(ev(25, Complete, 7))
+	byReq := tr.ByRequest()
+	if len(byReq[7]) != 3 || len(byReq[8]) != 1 {
+		t.Fatalf("ByRequest = %v", byReq)
+	}
+	lat := tr.RequestLatency()
+	if lat[7] != 15*time.Millisecond {
+		t.Fatalf("latency = %v", lat[7])
+	}
+	if _, ok := lat[8]; ok {
+		t.Fatal("incomplete request should have no latency")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	tr := New(4)
+	tr.Record(Event{At: time.Millisecond, Kind: Execute, ReqID: 1, Backend: "be0", Unit: "u", Batch: 8})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Event
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 || decoded[0].Batch != 8 || decoded[0].Kind != Execute {
+		t.Fatalf("round trip = %+v", decoded)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	tr := New(8)
+	tr.Record(ev(1, Arrive, 1))
+	tr.Record(Event{At: 2 * time.Millisecond, Kind: Execute, ReqID: 1, Backend: "be0", Unit: "u", Batch: 4})
+	tr.Record(Event{At: 3 * time.Millisecond, Kind: Drop, ReqID: 2, Session: "s", Detail: "deadline"})
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"arrive", "batch=4", "deadline"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaryAndSessions(t *testing.T) {
+	tr := New(8)
+	tr.Record(Event{Kind: Arrive, Session: "b"})
+	tr.Record(Event{Kind: Arrive, Session: "a"})
+	tr.Record(Event{Kind: Drop, Session: "a"})
+	sum := tr.Summary()
+	if sum[Arrive] != 2 || sum[Drop] != 1 {
+		t.Fatalf("summary = %v", sum)
+	}
+	got := tr.Sessions()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("sessions = %v", got)
+	}
+}
+
+// Property: after any sequence of records, Events() returns at most
+// capacity events, in non-decreasing record order (by sequence of
+// insertion), and Total counts every record.
+func TestPropertyRing(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capn := rng.Intn(16) + 1
+		n := rng.Intn(100)
+		tr := New(capn)
+		for i := 0; i < n; i++ {
+			tr.Record(ev(i, Arrive, uint64(i)))
+		}
+		got := tr.Events()
+		if tr.Total() != uint64(n) {
+			return false
+		}
+		want := n
+		if want > capn {
+			want = capn
+		}
+		if len(got) != want {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].ReqID != got[i-1].ReqID+1 {
+				return false
+			}
+		}
+		// The newest event must be the last recorded.
+		if n > 0 && got[len(got)-1].ReqID != uint64(n-1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

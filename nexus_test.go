@@ -1,0 +1,163 @@
+package nexus_test
+
+import (
+	"testing"
+	"time"
+
+	"nexus"
+)
+
+// TestQuickstartFlow exercises the README quickstart through the public
+// API: build a deployment, serve a session, verify the SLO target is met.
+func TestQuickstartFlow(t *testing.T) {
+	d, err := nexus.NewDeployment(nexus.Config{
+		System:   nexus.SystemNexus,
+		Features: nexus.AllFeatures(),
+		GPUs:     4,
+		Seed:     42,
+		Epoch:    10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddSession(nexus.SessionSpec{
+		ID:           "demo",
+		ModelID:      nexus.ResNet50,
+		SLO:          100 * time.Millisecond,
+		ExpectedRate: 800,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := d.Run(20 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad > 0.01 {
+		t.Fatalf("bad rate %.4f, want <= 1%%", bad)
+	}
+	st := d.Recorder.Session("demo")
+	if st.Sent == 0 || st.Good() == 0 {
+		t.Fatal("no traffic served")
+	}
+}
+
+// TestPackAndValidateAPI exercises the scheduling API directly.
+func TestPackAndValidateAPI(t *testing.T) {
+	mdb := nexus.Catalog()
+	profiles, err := nexus.CatalogProfiles(mdb, nexus.GTX1080Ti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := []nexus.Session{
+		{ID: "a", ModelID: nexus.ResNet50, SLO: 100 * time.Millisecond, Rate: 500},
+		{ID: "b", ModelID: nexus.GoogLeNetCar, SLO: 80 * time.Millisecond, Rate: 300},
+	}
+	plan, err := nexus.Pack(sessions, profiles, nexus.SchedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nexus.ValidatePlan(plan, sessions, profiles, nexus.SchedConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if plan.GPUCount() < 1 {
+		t.Fatal("empty plan")
+	}
+}
+
+// TestOptimizeQueryAPI exercises the latency-split API.
+func TestOptimizeQueryAPI(t *testing.T) {
+	mdb := nexus.Catalog()
+	profiles, err := nexus.CatalogProfiles(mdb, nexus.GTX1080Ti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &nexus.Query{
+		Name: "q", SLO: 400 * time.Millisecond,
+		Root: &nexus.QueryNode{Name: "det", ModelID: nexus.SSD, Edges: []nexus.QueryEdge{
+			{Gamma: 2, Child: &nexus.QueryNode{Name: "rec", ModelID: nexus.GoogLeNetCar}},
+		}},
+	}
+	budgets, gpus, err := nexus.OptimizeQuery(q, 100, profiles, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budgets["det"]+budgets["rec"] > 400*time.Millisecond {
+		t.Fatalf("split %v exceeds SLO", budgets)
+	}
+	if gpus <= 0 {
+		t.Fatalf("GPU estimate %v", gpus)
+	}
+}
+
+// TestAppDeployment exercises the application suite through the facade.
+func TestAppDeployment(t *testing.T) {
+	d, err := nexus.NewDeployment(nexus.Config{
+		System: nexus.SystemNexus, Features: nexus.AllFeatures(),
+		GPUs: 8, Seed: 3, Epoch: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nexus.DeployApp(d, nexus.AppGame(5, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := nexus.DeployApp(d, nexus.AppDance(10)); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := d.Run(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad > 0.05 {
+		t.Fatalf("bad rate %.4f", bad)
+	}
+}
+
+// TestPrefixProfilesAPI exercises the Figure 15 profile helpers.
+func TestPrefixProfilesAPI(t *testing.T) {
+	mdb := nexus.Catalog()
+	profiles, err := nexus.CatalogProfiles(mdb, nexus.GTX1080Ti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := profiles[nexus.ResNet50]
+	comb, err := nexus.CombinedProfile(base, 0.01, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep, err := nexus.SeparateVariantsProfile(base, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo := 100 * time.Millisecond
+	_, combT := comb.SaturateBatch(slo)
+	_, sepT := sep.SaturateBatch(slo)
+	if combT <= sepT {
+		t.Fatalf("prefix batching should win: combined %v <= separate %v", combT, sepT)
+	}
+	if comb.MemBase >= sep.MemBase {
+		t.Fatal("prefix batching should use less memory")
+	}
+}
+
+// TestMaxGoodputAPI smoke-tests the throughput-search helper.
+func TestMaxGoodputAPI(t *testing.T) {
+	got := nexus.MaxGoodput(50, 4000, 8*time.Second, func(rate float64) (*nexus.Deployment, error) {
+		d, err := nexus.NewDeployment(nexus.Config{
+			System: nexus.SystemNexus, Features: nexus.AllFeatures(),
+			GPUs: 1, Seed: 2, Epoch: 10 * time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := d.AddSession(nexus.SessionSpec{
+			ID: "s", ModelID: nexus.GoogLeNetCar, SLO: 100 * time.Millisecond, ExpectedRate: rate,
+		}, nil); err != nil {
+			return nil, err
+		}
+		return d, nil
+	})
+	if got < 300 || got > 4000 {
+		t.Fatalf("max goodput %v outside plausible range", got)
+	}
+}
