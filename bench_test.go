@@ -22,7 +22,7 @@ func runExperiment(b *testing.B, id string) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		table, err := e.Run(true)
+		table, err := e.Run(experiments.NewRunContext(true))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -3,9 +3,17 @@
 //	nexus-bench -list                 # show available experiments
 //	nexus-bench -run fig10,fig11      # run specific experiments
 //	nexus-bench -run all -short       # run everything at reduced precision
+//	nexus-bench -run all -parallel 8  # bound the worker pool at 8
+//	nexus-bench -run all -json out.json
+//
+// Experiments run concurrently through the runner pool (bounded by
+// -parallel, default GOMAXPROCS); tables are still printed in request
+// order, and the numbers are identical at any worker count because every
+// sweep cell simulates on its own isolated clock.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -13,12 +21,36 @@ import (
 	"time"
 
 	"nexus/internal/experiments"
+	"nexus/internal/runner"
 )
+
+// jsonResult is the machine-readable record for one experiment.
+type jsonResult struct {
+	ID          string     `json:"id"`
+	Description string     `json:"description"`
+	WallMS      float64    `json:"wall_ms"`
+	Events      uint64     `json:"events"`
+	Header      []string   `json:"header"`
+	Rows        [][]string `json:"rows"`
+	Error       string     `json:"error,omitempty"`
+
+	rendered string // table text for ordered stdout printing
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Short   bool         `json:"short"`
+	Workers int          `json:"workers"`
+	WallMS  float64      `json:"wall_ms"`
+	Results []jsonResult `json:"results"`
+}
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	run := flag.String("run", "", "comma-separated experiment IDs, or 'all'")
 	short := flag.Bool("short", false, "reduced simulation horizons and search precision")
+	parallel := flag.Int("parallel", 0, "worker pool bound (0 = GOMAXPROCS, 1 = sequential)")
+	jsonPath := flag.String("json", "", "write machine-readable results to this path")
 	flag.Parse()
 
 	if *list || *run == "" {
@@ -32,32 +64,80 @@ func main() {
 		return
 	}
 
+	runner.SetDefaultWorkers(*parallel)
+
 	var ids []string
 	if *run == "all" {
 		for _, e := range experiments.List() {
 			ids = append(ids, e.ID)
 		}
 	} else {
-		ids = strings.Split(*run, ",")
+		for _, id := range strings.Split(*run, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
 	}
+
+	// Run every experiment through the same pool that fans out their sweep
+	// cells; results come back in request order regardless of completion
+	// order.
+	start := time.Now()
+	results := runner.Map(len(ids), func(i int) jsonResult {
+		e, err := experiments.Get(ids[i])
+		if err != nil {
+			return jsonResult{ID: ids[i], Error: err.Error()}
+		}
+		rc := experiments.NewRunContext(*short)
+		t0 := time.Now()
+		table, err := e.Run(rc)
+		res := jsonResult{
+			ID:          e.ID,
+			Description: e.Description,
+			WallMS:      float64(time.Since(t0).Microseconds()) / 1000,
+			Events:      rc.Events(),
+		}
+		if err != nil {
+			res.Error = err.Error()
+			return res
+		}
+		res.Header = table.Header
+		res.Rows = table.Rows
+		// Keep the rendered table for ordered printing below.
+		res.rendered = table.String()
+		return res
+	})
+	wall := time.Since(start)
+
+	// Stdout carries only deterministic content (tables and event counts),
+	// so it is byte-identical at any -parallel value; wall-clock timing
+	// goes to stderr.
 	exitCode := 0
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		e, err := experiments.Get(id)
+	for _, res := range results {
+		if res.Error != "" {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", res.ID, res.Error)
+			exitCode = 1
+			continue
+		}
+		fmt.Print(res.rendered)
+		fmt.Printf("  (%d simulation events)\n\n", res.Events)
+		fmt.Fprintf(os.Stderr, "%s: %.0fms\n", res.ID, res.WallMS)
+	}
+	fmt.Fprintf(os.Stderr, "total: %.0fms with %d workers\n", float64(wall.Microseconds())/1000, runner.DefaultWorkers())
+
+	if *jsonPath != "" {
+		report := jsonReport{
+			Short:   *short,
+			Workers: runner.DefaultWorkers(),
+			WallMS:  float64(wall.Microseconds()) / 1000,
+			Results: results,
+		}
+		data, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			exitCode = 1
-			continue
-		}
-		start := time.Now()
-		table, err := e.Run(*short)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+		} else if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			exitCode = 1
-			continue
 		}
-		table.Fprint(os.Stdout)
-		fmt.Printf("  (completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	os.Exit(exitCode)
 }

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"nexus/internal/globalsched"
+	"nexus/internal/model"
+	"nexus/internal/workload"
+)
+
+// TestConcurrentDeploymentsAreIsolated is the engine's core concurrency
+// contract under -race: deployments share no mutable state, so many of
+// them can simulate on distinct goroutines at once, and a deployment's
+// result depends only on its own config and seed — never on what runs
+// beside it.
+func TestConcurrentDeploymentsAreIsolated(t *testing.T) {
+	const goroutines = 8
+	run := func(seed int64) (float64, uint64) {
+		d, err := New(Config{System: Nexus, Features: AllFeatures(), GPUs: 2, Seed: seed, Epoch: 5 * time.Second})
+		if err != nil {
+			t.Error(err)
+			return 0, 0
+		}
+		if err := d.AddSession(globalsched.SessionSpec{
+			ID: "s", ModelID: model.InceptionV3, SLO: 100 * time.Millisecond, ExpectedRate: 400,
+		}, workload.Poisson{Rate: 400}); err != nil {
+			t.Error(err)
+			return 0, 0
+		}
+		bad, err := d.Run(8 * time.Second)
+		if err != nil {
+			t.Error(err)
+			return 0, 0
+		}
+		return bad, d.Clock.Executed()
+	}
+
+	// Reference results, computed alone.
+	wantBad := make([]float64, goroutines)
+	wantEvents := make([]uint64, goroutines)
+	for i := range wantBad {
+		wantBad[i], wantEvents[i] = run(int64(i + 1))
+	}
+
+	// The same seeds again, all racing each other.
+	gotBad := make([]float64, goroutines)
+	gotEvents := make([]uint64, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gotBad[i], gotEvents[i] = run(int64(i + 1))
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range wantBad {
+		if gotBad[i] != wantBad[i] || gotEvents[i] != wantEvents[i] {
+			t.Errorf("seed %d: concurrent run (bad=%v events=%d) differs from solo run (bad=%v events=%d)",
+				i+1, gotBad[i], gotEvents[i], wantBad[i], wantEvents[i])
+		}
+	}
+}

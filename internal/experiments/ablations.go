@@ -11,6 +11,7 @@ import (
 	"nexus/internal/model"
 	"nexus/internal/profiler"
 	"nexus/internal/queryopt"
+	"nexus/internal/runner"
 	"nexus/internal/scheduler"
 	"nexus/internal/workload"
 )
@@ -26,7 +27,7 @@ func init() {
 // ablationSLOFactor sweeps the worst-case multiplier of §4.1. Factor 2 is
 // the paper's rule (one batch of waiting plus one of execution); larger
 // factors are more conservative and cost GPUs.
-func ablationSLOFactor(bool) (*Table, error) {
+func ablationSLOFactor(*RunContext) (*Table, error) {
 	mdb := model.Catalog()
 	pdb, err := profiler.CatalogProfiles(mdb)
 	if err != nil {
@@ -65,7 +66,7 @@ func ablationSLOFactor(bool) (*Table, error) {
 
 // ablationEpsilon sweeps the DP's budget discretization on the traffic
 // query: coarser grids run faster but find worse splits.
-func ablationEpsilon(bool) (*Table, error) {
+func ablationEpsilon(*RunContext) (*Table, error) {
 	mdb := model.Catalog()
 	pdb, err := profiler.CatalogProfiles(mdb)
 	if err != nil {
@@ -102,9 +103,9 @@ func ablationEpsilon(bool) (*Table, error) {
 // ablationSlack sweeps the control plane's planning slack: too little and
 // runtime costs the profile does not capture blow the SLO; too much wastes
 // GPUs.
-func ablationSlack(short bool) (*Table, error) {
+func ablationSlack(rc *RunContext) (*Table, error) {
 	horizon := 30 * time.Second
-	if short {
+	if rc.Short {
 		horizon = 10 * time.Second
 	}
 	t := &Table{
@@ -113,28 +114,41 @@ func ablationSlack(short bool) (*Table, error) {
 		Header: []string{"slack", "bad %", "GPUs used"},
 		Notes:  []string{"zero slack under-provisions (planner believes the raw profile); the adaptive runtime hides most of the SLO damage at this load, but the safety margin is gone at the frontier"},
 	}
-	for _, slack := range []time.Duration{-1, 3 * time.Millisecond, 10 * time.Millisecond} {
+	slacks := []time.Duration{-1, 3 * time.Millisecond, 10 * time.Millisecond}
+	type result struct {
+		bad  float64
+		gpus float64
+		err  error
+	}
+	results := runner.Map(len(slacks), func(i int) result {
 		d, err := cluster.New(cluster.Config{
 			System: cluster.Nexus, Features: cluster.AllFeatures(),
-			GPUs: 4, Seed: 5, Epoch: 10 * time.Second, PlanningSlack: slack,
+			GPUs: 4, Seed: 5, Epoch: 10 * time.Second, PlanningSlack: slacks[i],
 		})
 		if err != nil {
-			return nil, err
+			return result{err: err}
 		}
 		if err := d.AddSession(globalsched.SessionSpec{
 			ID: "s", ModelID: model.ResNet50, SLO: 50 * time.Millisecond, ExpectedRate: 2500,
 		}, workload.Poisson{Rate: 2500}); err != nil {
-			return nil, err
+			return result{err: err}
 		}
 		bad, err := d.Run(horizon)
+		rc.AddEvents(d.Clock.Executed())
 		if err != nil {
-			return nil, err
+			return result{err: err}
+		}
+		return result{bad: bad, gpus: d.AvgGPUsUsed()}
+	})
+	for i, slack := range slacks {
+		if results[i].err != nil {
+			return nil, results[i].err
 		}
 		label := slack.String()
 		if slack < 0 {
 			label = "none"
 		}
-		t.AddRow(label, fmt.Sprintf("%.2f", 100*bad), fmt.Sprintf("%.1f", d.AvgGPUsUsed()))
+		t.AddRow(label, fmt.Sprintf("%.2f", 100*results[i].bad), fmt.Sprintf("%.1f", results[i].gpus))
 	}
 	return t, nil
 }
@@ -142,10 +156,10 @@ func ablationSlack(short bool) (*Table, error) {
 // ablationWindow sweeps the early-drop window (the scheduler-assigned
 // batch size) on the Figure 5 synthetic workload: small windows forgo
 // batching efficiency, oversized windows over-drop.
-func ablationWindow(short bool) (*Table, error) {
+func ablationWindow(rc *RunContext) (*Table, error) {
 	horizon := 30 * time.Second
 	tol := 0.02
-	if short {
+	if rc.Short {
 		horizon, tol = 10*time.Second, 0.05
 	}
 	p := fig5Profile(1.2)
@@ -155,29 +169,31 @@ func ablationWindow(short bool) (*Table, error) {
 		Header: []string{"window", "goodput (req/s)"},
 		Notes:  []string{"the scheduler-assigned batch (25) maximizes goodput; §6.3's window choice is not arbitrary"},
 	}
-	for _, window := range []int{5, 10, 25, 40, 64} {
-		window := window
-		got := metrics.MaxGoodput(50, 520, metrics.GoodputTarget, tol, func(rate float64) float64 {
-			return dropPolicyBadRateWindow(p, rate, window, horizon)
+	windows := []int{5, 10, 25, 40, 64}
+	tputs := runner.Map(len(windows), func(i int) float64 {
+		return metrics.MaxGoodputK(50, 520, metrics.GoodputTarget, tol, goodputProbes, func(rate float64) float64 {
+			return dropPolicyBadRateWindow(rc, p, rate, windows[i], horizon)
 		})
-		t.AddRow(fmt.Sprint(window), fmt.Sprintf("%.0f", got))
+	})
+	for i, window := range windows {
+		t.AddRow(fmt.Sprint(window), fmt.Sprintf("%.0f", tputs[i]))
 	}
 	return t, nil
 }
 
 // dropPolicyBadRateWindow is dropPolicyBadRate with an explicit target
 // batch (window) instead of the profile-derived one.
-func dropPolicyBadRateWindow(p *profiler.Profile, rate float64, window int, horizon time.Duration) float64 {
-	return dropPolicyBadRateTarget(backend.EarlyDrop{}, p, workload.Poisson{Rate: rate}, horizon, 3, window)
+func dropPolicyBadRateWindow(rc *RunContext, p *profiler.Profile, rate float64, window int, horizon time.Duration) float64 {
+	return dropPolicyBadRateTarget(rc, backend.EarlyDrop{}, p, workload.Poisson{Rate: rate}, horizon, 3, window)
 }
 
 // ablationDefer contrasts the paper's two service models (§5): drop
 // excess requests vs defer them to low priority. A transient burst beyond
 // capacity is the interesting case — deferral completes the excess late,
 // once the burst subsides, instead of discarding it.
-func ablationDefer(short bool) (*Table, error) {
+func ablationDefer(rc *RunContext) (*Table, error) {
 	horizon := 40 * time.Second
-	if short {
+	if rc.Short {
 		horizon = 25 * time.Second
 	}
 	t := &Table{
@@ -186,25 +202,37 @@ func ablationDefer(short bool) (*Table, error) {
 		Header: []string{"mode", "on-time %", "served late %", "lost %"},
 		Notes:  []string{"§5: \"we could configure our system to simply delay the execution of requests that miss their deadlines\""},
 	}
-	for _, deferMode := range []bool{false, true} {
+	type result struct {
+		st  *metrics.SessionStats
+		err error
+	}
+	modes := []bool{false, true}
+	results := runner.Map(len(modes), func(i int) result {
 		d, err := cluster.New(cluster.Config{
 			System: cluster.Nexus, Features: cluster.AllFeatures(),
-			GPUs: 1, Seed: 9, Epoch: 10 * time.Second, DeferDropped: deferMode,
+			GPUs: 1, Seed: 9, Epoch: 10 * time.Second, DeferDropped: modes[i],
 		})
 		if err != nil {
-			return nil, err
+			return result{err: err}
 		}
 		// Base load within capacity; a 5s burst at ~2x capacity.
 		sched := workload.Burst(600, 2000, 12*time.Second, 17*time.Second)
 		if err := d.AddSession(globalsched.SessionSpec{
 			ID: "s", ModelID: model.InceptionV3, SLO: 100 * time.Millisecond, ExpectedRate: 600,
 		}, workload.Modulated{RateAt: sched.RateAt}); err != nil {
-			return nil, err
+			return result{err: err}
 		}
 		if _, err := d.Run(horizon); err != nil {
-			return nil, err
+			return result{err: err}
 		}
-		st := d.Recorder.Session("s")
+		rc.AddEvents(d.Clock.Executed())
+		return result{st: d.Recorder.Session("s")}
+	})
+	for i, deferMode := range modes {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		st := results[i].st
 		total := float64(st.Sent)
 		mode := "drop (default)"
 		if deferMode {

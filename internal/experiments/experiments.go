@@ -3,6 +3,14 @@
 // produces a Table whose rows mirror what the paper reports; the bench
 // harness (bench_test.go) and the nexus-bench CLI both dispatch into the
 // registry here.
+//
+// The engine is parallel: sweeps fan independent cells (system x SLO x
+// gamma x feature x model-count) through the runner pool, and goodput
+// searches speculate several candidate rates per round. Every cell builds
+// its own cluster.Deployment with its own simclock.Clock, so cells share
+// no mutable state and results are identical at any worker count —
+// runner.SetDefaultWorkers(1) reproduces the sequential engine byte for
+// byte.
 package experiments
 
 import (
@@ -10,6 +18,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Table is a printable experiment result.
@@ -68,12 +77,14 @@ func (t *Table) String() string {
 }
 
 // Cell finds the value at (row label, column name); the row label is the
-// first cell. Returns "" when absent.
+// first cell. When several header columns share a name, the first match
+// wins. Returns "" when absent.
 func (t *Table) Cell(rowLabel, col string) string {
 	ci := -1
 	for i, h := range t.Header {
 		if h == col {
 			ci = i
+			break
 		}
 	}
 	if ci < 0 {
@@ -87,14 +98,49 @@ func (t *Table) Cell(rowLabel, col string) string {
 	return ""
 }
 
+// RunContext carries per-run knobs and accumulators through one
+// experiment. Concurrent sweep cells share it, so the accumulators are
+// atomic.
+type RunContext struct {
+	// Short trades precision for speed (shorter simulations, coarser
+	// goodput searches); the benchmark harness uses it.
+	Short bool
+
+	// events counts simulation events executed across every deployment and
+	// clock the experiment ran; nexus-bench reports it per experiment so
+	// the perf trajectory is comparable across PRs.
+	events atomic.Uint64
+}
+
+// NewRunContext returns a context for one experiment run.
+func NewRunContext(short bool) *RunContext {
+	return &RunContext{Short: short}
+}
+
+// AddEvents accumulates executed simulation events (Clock.Executed() of a
+// finished simulation). Safe for concurrent cells.
+func (rc *RunContext) AddEvents(n uint64) {
+	if rc != nil {
+		rc.events.Add(n)
+	}
+}
+
+// Events returns the simulation events accumulated so far.
+func (rc *RunContext) Events() uint64 {
+	if rc == nil {
+		return 0
+	}
+	return rc.events.Load()
+}
+
 // Experiment is one registry entry.
 type Experiment struct {
 	ID          string
 	Description string
-	// Run executes the experiment. short trades precision for speed
-	// (shorter simulations, coarser goodput searches) and is what the
-	// benchmark harness uses.
-	Run func(short bool) (*Table, error)
+	// Run executes the experiment. The context supplies the short/full
+	// switch and collects event counts; Run implementations fan
+	// independent sweep cells through the runner pool.
+	Run func(rc *RunContext) (*Table, error)
 }
 
 var registry = map[string]Experiment{}

@@ -56,7 +56,7 @@ func mustRun(t *testing.T, id string) *Table {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab, err := e.Run(true)
+	tab, err := e.Run(NewRunContext(true))
 	if err != nil {
 		t.Fatal(err)
 	}

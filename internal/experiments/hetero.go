@@ -8,6 +8,7 @@ import (
 	"nexus/internal/hetero"
 	"nexus/internal/model"
 	"nexus/internal/profiler"
+	"nexus/internal/runner"
 	"nexus/internal/scheduler"
 )
 
@@ -22,7 +23,7 @@ func init() {
 // extensionHetero packs a mixed workload onto a heterogeneous fleet and
 // compares the hourly dollar cost with homogeneous alternatives — the
 // placement question Table 1's cost argument implies.
-func extensionHetero(bool) (*Table, error) {
+func extensionHetero(*RunContext) (*Table, error) {
 	mdb := model.Catalog()
 	pdb, err := profiler.CatalogProfiles(mdb)
 	if err != nil {
@@ -63,17 +64,31 @@ func extensionHetero(bool) (*Table, error) {
 		},
 	}
 	t.AddRow("mixed fleet (6x 1080Ti cap)", fmt.Sprint(mixed.GPUs()), fmt.Sprintf("%.2f", mixed.CostPerHour))
-	for _, gpu := range []profiler.GPUType{profiler.GTX1080Ti, profiler.K80, profiler.V100} {
+	// Each homogeneous alternative is an independent packing problem; fan
+	// them out through the runner pool.
+	gpuTypes := []profiler.GPUType{profiler.GTX1080Ti, profiler.K80, profiler.V100}
+	type homo struct {
+		gpus string
+		cost string
+		err  error
+	}
+	homos := runner.Map(len(gpuTypes), func(i int) homo {
+		gpu := gpuTypes[i]
 		cost := hetero.HomogeneousCost(sessions, profiles, gpu, scheduler.Config{})
 		if math.IsInf(cost, 1) {
-			t.AddRow("all-"+string(gpu)+" (uncapped)", "-", "infeasible")
-			continue
+			return homo{gpus: "-", cost: "infeasible"}
 		}
 		plan, err := scheduler.Pack(sessions, profiles[gpu], scheduler.Config{})
 		if err != nil {
-			return nil, err
+			return homo{err: err}
 		}
-		t.AddRow("all-"+string(gpu)+" (uncapped)", fmt.Sprint(plan.GPUCount()), fmt.Sprintf("%.2f", cost))
+		return homo{gpus: fmt.Sprint(plan.GPUCount()), cost: fmt.Sprintf("%.2f", cost)}
+	})
+	for i, gpu := range gpuTypes {
+		if homos[i].err != nil {
+			return nil, homos[i].err
+		}
+		t.AddRow("all-"+string(gpu)+" (uncapped)", homos[i].gpus, homos[i].cost)
 	}
 	// Per-session placement detail.
 	for _, s := range sessions {

@@ -11,6 +11,7 @@ import (
 	"nexus/internal/model"
 	"nexus/internal/profiler"
 	"nexus/internal/queryopt"
+	"nexus/internal/runner"
 	"nexus/internal/workload"
 )
 
@@ -33,9 +34,17 @@ type deployCfg struct {
 	seed     int64
 }
 
-// searchGoodput binary-searches the max rate served with >=99% goodness.
-// build deploys the workload for an offered rate.
-func searchGoodput(lo, hi float64, horizon time.Duration, tol float64,
+// goodputProbes is the number of candidate rates the speculative goodput
+// search evaluates concurrently per round (metrics.MaxGoodputK). It is a
+// fixed constant — never derived from the worker count — so search results
+// are identical in sequential and parallel runs.
+const goodputProbes = 4
+
+// searchGoodput finds the max rate served with >=99% goodness using the
+// speculative k-probe search; build deploys the workload for an offered
+// rate. Each probe builds an isolated deployment (own clock, own rng), so
+// probes run concurrently; executed events are accumulated into rc.
+func searchGoodput(rc *RunContext, lo, hi float64, horizon time.Duration, tol float64,
 	build func(rate float64) (*cluster.Deployment, error)) float64 {
 	eval := func(rate float64) float64 {
 		d, err := build(rate)
@@ -43,12 +52,42 @@ func searchGoodput(lo, hi float64, horizon time.Duration, tol float64,
 			return 1
 		}
 		bad, err := d.Run(horizon)
+		rc.AddEvents(d.Clock.Executed())
 		if err != nil {
 			return 1
 		}
 		return bad
 	}
-	return metrics.MaxGoodput(lo, hi, metrics.GoodputTarget, tol, eval)
+	return metrics.MaxGoodputK(lo, hi, metrics.GoodputTarget, tol, goodputProbes, eval)
+}
+
+// finishDeployment folds a sequential (non-sweep) deployment's event count
+// into the run context.
+func finishDeployment(rc *RunContext, d *cluster.Deployment) {
+	rc.AddEvents(d.Clock.Executed())
+}
+
+// systemCell is one (row, system, features) sweep cell.
+type systemCell struct {
+	name string
+	sys  cluster.System
+	f    cluster.Features
+}
+
+// cumulativeAblation materializes the feature configs of a cumulative
+// ablation up front, so the resulting cells are independent and can run
+// concurrently.
+func cumulativeAblation(steps []struct {
+	name   string
+	mutate func(*cluster.Features)
+}) []systemCell {
+	f := cluster.AllFeatures()
+	cells := make([]systemCell, 0, len(steps))
+	for _, s := range steps {
+		s.mutate(&f)
+		cells = append(cells, systemCell{s.name, cluster.Nexus, f})
+	}
+	return cells
 }
 
 // --- Figure 10: game analysis ---------------------------------------------
@@ -70,9 +109,9 @@ func gameBuilder(cfg deployCfg, horizonEpoch time.Duration) func(rate float64) (
 	}
 }
 
-func figure10(short bool) (*Table, error) {
+func figure10(rc *RunContext) (*Table, error) {
 	horizon, tol := 20*time.Second, 0.02
-	if short {
+	if rc.Short {
 		horizon, tol = 8*time.Second, 0.06
 	}
 	t := &Table{
@@ -84,20 +123,12 @@ func figure10(short bool) (*Table, error) {
 			"absolute rates differ (simulated GPUs); compare ratios and ordering",
 		},
 	}
-	run := func(system cluster.System, f cluster.Features) float64 {
-		return searchGoodput(20, 150000, horizon, tol, gameBuilder(deployCfg{system, f, 16, 11}, 10*time.Second))
+	cells := []systemCell{
+		{"TF Serving", cluster.TFServing, cluster.Features{}},
+		{"Clipper", cluster.Clipper, cluster.Features{}},
+		{"Nexus", cluster.Nexus, cluster.AllFeatures()},
 	}
-	nexusTput := run(cluster.Nexus, cluster.AllFeatures())
-	rows := []struct {
-		name string
-		f    func() float64
-	}{
-		{"TF Serving", func() float64 { return run(cluster.TFServing, cluster.Features{}) }},
-		{"Clipper", func() float64 { return run(cluster.Clipper, cluster.Features{}) }},
-		{"Nexus", func() float64 { return nexusTput }},
-	}
-	f := cluster.AllFeatures()
-	cumulative := []struct {
+	cells = append(cells, cumulativeAblation([]struct {
 		name   string
 		mutate func(*cluster.Features)
 	}{
@@ -105,15 +136,14 @@ func figure10(short bool) (*Table, error) {
 		{"-SS", func(f *cluster.Features) { f.Squishy = false }},
 		{"-ED", func(f *cluster.Features) { f.EarlyDrop = false }},
 		{"-OL", func(f *cluster.Features) { f.Overlap = false }},
-	}
-	for _, r := range rows {
-		tput := r.f()
-		t.AddRow(r.name, fmt.Sprintf("%.0f", tput), fmt.Sprintf("%.2f", tput/nexusTput))
-	}
-	for _, c := range cumulative {
-		c.mutate(&f)
-		tput := run(cluster.Nexus, f)
-		t.AddRow(c.name, fmt.Sprintf("%.0f", tput), fmt.Sprintf("%.2f", tput/nexusTput))
+	})...)
+	tputs := runner.Map(len(cells), func(i int) float64 {
+		return searchGoodput(rc, 20, 150000, horizon, tol,
+			gameBuilder(deployCfg{cells[i].sys, cells[i].f, 16, 11}, 10*time.Second))
+	})
+	nexusTput := tputs[2]
+	for i, c := range cells {
+		t.AddRow(c.name, fmt.Sprintf("%.0f", tputs[i]), fmt.Sprintf("%.2f", tputs[i]/nexusTput))
 	}
 	return t, nil
 }
@@ -137,9 +167,9 @@ func trafficBuilder(cfg deployCfg, rush bool) func(rate float64) (*cluster.Deplo
 	}
 }
 
-func figure11(short bool) (*Table, error) {
+func figure11(rc *RunContext) (*Table, error) {
 	horizon, tol := 20*time.Second, 0.02
-	if short {
+	if rc.Short {
 		horizon, tol = 8*time.Second, 0.06
 	}
 	t := &Table{
@@ -150,15 +180,12 @@ func figure11(short bool) (*Table, error) {
 			"paper Figure 11: TF 297, Clipper 227, Nexus 534, -QA 433, -SS 337, -ED 326, -OL 216",
 		},
 	}
-	run := func(system cluster.System, f cluster.Features) float64 {
-		return searchGoodput(5, 3000, horizon, tol, trafficBuilder(deployCfg{system, f, 16, 7}, false))
+	cells := []systemCell{
+		{"TF Serving", cluster.TFServing, cluster.Features{}},
+		{"Clipper", cluster.Clipper, cluster.Features{}},
+		{"Nexus", cluster.Nexus, cluster.AllFeatures()},
 	}
-	nexusTput := run(cluster.Nexus, cluster.AllFeatures())
-	t.AddRow("TF Serving", fmt.Sprintf("%.0f", run(cluster.TFServing, cluster.Features{})), "")
-	t.AddRow("Clipper", fmt.Sprintf("%.0f", run(cluster.Clipper, cluster.Features{})), "")
-	t.AddRow("Nexus", fmt.Sprintf("%.0f", nexusTput), "1.00")
-	f := cluster.AllFeatures()
-	cumulative := []struct {
+	cells = append(cells, cumulativeAblation([]struct {
 		name   string
 		mutate func(*cluster.Features)
 	}{
@@ -166,18 +193,24 @@ func figure11(short bool) (*Table, error) {
 		{"-SS", func(f *cluster.Features) { f.Squishy = false }},
 		{"-ED", func(f *cluster.Features) { f.EarlyDrop = false }},
 		{"-OL", func(f *cluster.Features) { f.Overlap = false }},
-	}
-	for _, c := range cumulative {
-		c.mutate(&f)
-		tput := run(cluster.Nexus, f)
-		t.AddRow(c.name, fmt.Sprintf("%.0f", tput), fmt.Sprintf("%.2f", tput/nexusTput))
+	})...)
+	tputs := runner.Map(len(cells), func(i int) float64 {
+		return searchGoodput(rc, 5, 3000, horizon, tol,
+			trafficBuilder(deployCfg{cells[i].sys, cells[i].f, 16, 7}, false))
+	})
+	nexusTput := tputs[2]
+	t.AddRow("TF Serving", fmt.Sprintf("%.0f", tputs[0]), "")
+	t.AddRow("Clipper", fmt.Sprintf("%.0f", tputs[1]), "")
+	t.AddRow("Nexus", fmt.Sprintf("%.0f", nexusTput), "1.00")
+	for i := 3; i < len(cells); i++ {
+		t.AddRow(cells[i].name, fmt.Sprintf("%.0f", tputs[i]), fmt.Sprintf("%.2f", tputs[i]/nexusTput))
 	}
 	return t, nil
 }
 
-func figure12(short bool) (*Table, error) {
+func figure12(rc *RunContext) (*Table, error) {
 	horizon, tol := 20*time.Second, 0.02
-	if short {
+	if rc.Short {
 		horizon, tol = 8*time.Second, 0.06
 	}
 	t := &Table{
@@ -188,39 +221,37 @@ func figure12(short bool) (*Table, error) {
 			"paper Figure 12: rush/non-rush — TF 146/227, Clipper 61/297, Nexus w/o QA 254/433, Nexus 264/534",
 		},
 	}
-	run := func(system cluster.System, f cluster.Features, rush bool) float64 {
-		return searchGoodput(5, 3000, horizon, tol, trafficBuilder(deployCfg{system, f, 16, 7}, rush))
-	}
 	noQA := cluster.AllFeatures()
 	noQA.QueryAnalysis = false
-	systems := []struct {
-		name string
-		sys  cluster.System
-		f    cluster.Features
-	}{
+	systems := []systemCell{
 		{"TF Serving", cluster.TFServing, cluster.Features{}},
 		{"Clipper", cluster.Clipper, cluster.Features{}},
 		{"Nexus w/o QA", cluster.Nexus, noQA},
 		{"Nexus", cluster.Nexus, cluster.AllFeatures()},
 	}
-	for _, s := range systems {
-		rush := run(s.sys, s.f, true)
-		calm := run(s.sys, s.f, false)
-		t.AddRow(s.name, fmt.Sprintf("%.0f", rush), fmt.Sprintf("%.0f", calm))
+	// Cells: system x {rush, non-rush}.
+	tputs := runner.Map(len(systems)*2, func(i int) float64 {
+		s := systems[i/2]
+		rush := i%2 == 0
+		return searchGoodput(rc, 5, 3000, horizon, tol,
+			trafficBuilder(deployCfg{s.sys, s.f, 16, 7}, rush))
+	})
+	for i, s := range systems {
+		t.AddRow(s.name, fmt.Sprintf("%.0f", tputs[2*i]), fmt.Sprintf("%.0f", tputs[2*i+1]))
 	}
 	return t, nil
 }
 
 // --- Figure 13: large-scale deployment --------------------------------------
 
-func figure13(short bool) (*Table, error) {
+func figure13(rc *RunContext) (*Table, error) {
 	// 100 K80s serve roughly half the nominal workload unit (K80s are
 	// ~3.2x slower than the 1080Ti the unit was sized for).
 	gpus, scale := 100, 0.5
 	window := 1000 * time.Second
 	sample := 100 * time.Second
 	gpuType := profiler.K80
-	if short {
+	if rc.Short {
 		gpus, scale = 24, 0.2
 		window = 200 * time.Second
 		sample = 25 * time.Second
@@ -266,6 +297,7 @@ func figure13(short bool) (*Table, error) {
 	if _, err := d.Run(window); err != nil {
 		return nil, err
 	}
+	finishDeployment(rc, d)
 	t := &Table{
 		ID:     "fig13",
 		Title:  fmt.Sprintf("deployment window: 7 apps on %d %s GPUs, Poisson arrivals with a mid-window surge", gpus, gpuType),
@@ -342,16 +374,12 @@ func multiplexBuilder(system cluster.System, f cluster.Features, nModels int, sl
 	}
 }
 
-func figure14(short bool) (*Table, error) {
+func figure14(rc *RunContext) (*Table, error) {
 	horizon, tol := 20*time.Second, 0.02
-	if short {
+	if rc.Short {
 		horizon, tol = 8*time.Second, 0.06
 	}
-	systems := []struct {
-		name string
-		sys  cluster.System
-		f    cluster.Features
-	}{
+	systems := []systemCell{
 		{"Clipper", cluster.Clipper, cluster.Features{}},
 		{"TF Serving", cluster.TFServing, cluster.Features{}},
 		{"Nexus-parallel", cluster.NexusParallel, cluster.AllFeatures()},
@@ -365,19 +393,31 @@ func figure14(short bool) (*Table, error) {
 			"paper Figure 14: Nexus 1.4-2.1x TF Serving and 1.9-9.8x Clipper; Nexus-parallel in between",
 		},
 	}
+	// Rows: four model counts at 100ms, then four SLOs at 3 copies. Every
+	// (row, system) pair is an independent cell.
+	type rowSpec struct {
+		label string
+		n     int
+		slo   time.Duration
+		seed  int64
+	}
+	var rows []rowSpec
 	for _, n := range []int{2, 3, 4, 5} {
-		row := []string{fmt.Sprintf("%d models @100ms", n)}
-		for _, s := range systems {
-			tput := searchGoodput(10, 3000, horizon, tol, multiplexBuilder(s.sys, s.f, n, 100*time.Millisecond, 21))
-			row = append(row, fmt.Sprintf("%.0f", tput))
-		}
-		t.AddRow(row...)
+		rows = append(rows, rowSpec{fmt.Sprintf("%d models @100ms", n), n, 100 * time.Millisecond, 21})
 	}
 	for _, slo := range []time.Duration{50, 100, 150, 200} {
-		row := []string{fmt.Sprintf("3 models @%dms", slo)}
-		for _, s := range systems {
-			tput := searchGoodput(10, 3000, horizon, tol, multiplexBuilder(s.sys, s.f, 3, slo*time.Millisecond, 22))
-			row = append(row, fmt.Sprintf("%.0f", tput))
+		rows = append(rows, rowSpec{fmt.Sprintf("3 models @%dms", slo), 3, slo * time.Millisecond, 22})
+	}
+	nSys := len(systems)
+	tputs := runner.Map(len(rows)*nSys, func(i int) float64 {
+		r, s := rows[i/nSys], systems[i%nSys]
+		return searchGoodput(rc, 10, 3000, horizon, tol,
+			multiplexBuilder(s.sys, s.f, r.n, r.slo, r.seed))
+	})
+	for ri, r := range rows {
+		row := []string{r.label}
+		for si := range systems {
+			row = append(row, fmt.Sprintf("%.0f", tputs[ri*nSys+si]))
 		}
 		t.AddRow(row...)
 	}
@@ -386,9 +426,9 @@ func figure14(short bool) (*Table, error) {
 
 // --- Figure 16: squishy scheduling mixes --------------------------------------
 
-func figure16(short bool) (*Table, error) {
+func figure16(rc *RunContext) (*Table, error) {
 	horizon, tol := 20*time.Second, 0.02
-	if short {
+	if rc.Short {
 		horizon, tol = 8*time.Second, 0.06
 	}
 	t := &Table{
@@ -468,7 +508,7 @@ func figure16(short bool) (*Table, error) {
 		}},
 	}
 	run := func(m mix, squishy bool) float64 {
-		return searchGoodput(16, 60000, horizon, tol, func(rate float64) (*cluster.Deployment, error) {
+		return searchGoodput(rc, 16, 60000, horizon, tol, func(rate float64) (*cluster.Deployment, error) {
 			f := cluster.AllFeatures()
 			f.Squishy = squishy
 			f.PrefixBatch = false // isolate the scheduling effect
@@ -489,9 +529,12 @@ func figure16(short bool) (*Table, error) {
 			return d, nil
 		})
 	}
-	for _, m := range mixes {
-		obl := run(m, false)
-		sq := run(m, true)
+	// Cells: mix x {oblivious, squishy}.
+	tputs := runner.Map(len(mixes)*2, func(i int) float64 {
+		return run(mixes[i/2], i%2 == 1)
+	})
+	for i, m := range mixes {
+		obl, sq := tputs[2*i], tputs[2*i+1]
 		t.AddRow(m.name, fmt.Sprintf("%.0f", obl), fmt.Sprintf("%.0f", sq),
 			fmt.Sprintf("%.0f", 100*(sq/obl-1)))
 	}
@@ -500,9 +543,9 @@ func figure16(short bool) (*Table, error) {
 
 // --- Figure 17: query analysis -------------------------------------------------
 
-func figure17(short bool) (*Table, error) {
+func figure17(rc *RunContext) (*Table, error) {
 	horizon, tol := 20*time.Second, 0.02
-	if short {
+	if rc.Short {
 		horizon, tol = 8*time.Second, 0.06
 	}
 	t := &Table{
@@ -536,23 +579,36 @@ func figure17(short bool) (*Table, error) {
 			return d, nil
 		}
 	}
+	type combo struct {
+		slo   time.Duration
+		gamma float64
+	}
+	var combos []combo
 	for _, slo := range []time.Duration{300, 400, 500} {
 		for _, gamma := range []float64{0.1, 1, 10} {
-			even := searchGoodput(2, 2000, horizon, tol, build(slo*time.Millisecond, gamma, false))
-			qa := searchGoodput(2, 2000, horizon, tol, build(slo*time.Millisecond, gamma, true))
-			t.AddRow(fmt.Sprintf("%dms", slo), fmt.Sprintf("%g", gamma),
-				fmt.Sprintf("%.0f", even), fmt.Sprintf("%.0f", qa),
-				fmt.Sprintf("%.0f", 100*(qa/even-1)))
+			combos = append(combos, combo{slo, gamma})
 		}
+	}
+	// Cells: (SLO, gamma) x {even split, query analysis}.
+	tputs := runner.Map(len(combos)*2, func(i int) float64 {
+		c := combos[i/2]
+		return searchGoodput(rc, 2, 2000, horizon, tol,
+			build(c.slo*time.Millisecond, c.gamma, i%2 == 1))
+	})
+	for i, c := range combos {
+		even, qa := tputs[2*i], tputs[2*i+1]
+		t.AddRow(fmt.Sprintf("%dms", c.slo), fmt.Sprintf("%g", c.gamma),
+			fmt.Sprintf("%.0f", even), fmt.Sprintf("%.0f", qa),
+			fmt.Sprintf("%.0f", 100*(qa/even-1)))
 	}
 	return t, nil
 }
 
 // --- Section 7.4: utilization vs lower bound ------------------------------------
 
-func section74(short bool) (*Table, error) {
+func section74(rc *RunContext) (*Table, error) {
 	horizon := 120 * time.Second
-	if short {
+	if rc.Short {
 		horizon = 30 * time.Second
 	}
 	d, err := cluster.New(cluster.Config{
@@ -580,6 +636,7 @@ func section74(short bool) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	finishDeployment(rc, d)
 	// Theoretical lower bound: GPUs = sum R_i / T_i with T_i the best
 	// fully-batched throughput under the SLO (§7.4's optimal assumes full
 	// batching and back-to-back execution).

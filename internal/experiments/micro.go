@@ -11,6 +11,7 @@ import (
 	"nexus/internal/model"
 	"nexus/internal/profiler"
 	"nexus/internal/queryopt"
+	"nexus/internal/runner"
 	"nexus/internal/scheduler"
 	"nexus/internal/simclock"
 	"nexus/internal/workload"
@@ -27,7 +28,7 @@ func init() {
 
 // --- Table 1 -------------------------------------------------------------
 
-func table1(bool) (*Table, error) {
+func table1(*RunContext) (*Table, error) {
 	mdb := model.Catalog()
 	pdb, err := profiler.CatalogProfiles(mdb)
 	if err != nil {
@@ -105,7 +106,7 @@ func Table2Profiles() (map[string]*profiler.Profile, error) {
 	return out, nil
 }
 
-func table2(bool) (*Table, error) {
+func table2(*RunContext) (*Table, error) {
 	profiles, err := Table2Profiles()
 	if err != nil {
 		return nil, err
@@ -169,7 +170,7 @@ func joinComma(parts []string) string {
 
 // --- Figure 3/4 -----------------------------------------------------------
 
-func figure4(bool) (*Table, error) {
+func figure4(*RunContext) (*Table, error) {
 	tputX := map[int]float64{40: 200, 50: 250, 60: 300}
 	tputY := map[int]float64{40: 300, 50: 400, 60: 500}
 	t := &Table{
@@ -206,14 +207,15 @@ func fig5Profile(alphaMs float64) *profiler.Profile {
 
 // dropPolicyBadRate offers `rate` r/s to one GPU running the fig5 profile
 // under the given policy and returns the bad rate.
-func dropPolicyBadRate(policy backend.DropPolicy, p *profiler.Profile, proc workload.Process,
+func dropPolicyBadRate(rc *RunContext, policy backend.DropPolicy, p *profiler.Profile, proc workload.Process,
 	horizon time.Duration, seed int64) float64 {
-	return dropPolicyBadRateTarget(policy, p, proc, horizon, seed, 25)
+	return dropPolicyBadRateTarget(rc, policy, p, proc, horizon, seed, 25)
 }
 
 // dropPolicyBadRateTarget is dropPolicyBadRate with an explicit
-// scheduler-assigned batch size (early drop's window).
-func dropPolicyBadRateTarget(policy backend.DropPolicy, p *profiler.Profile, proc workload.Process,
+// scheduler-assigned batch size (early drop's window). Each call builds an
+// isolated clock/device/backend, so cells invoke it concurrently.
+func dropPolicyBadRateTarget(rc *RunContext, policy backend.DropPolicy, p *profiler.Profile, proc workload.Process,
 	horizon time.Duration, seed int64, target int) float64 {
 	clock := simclock.New()
 	dev := gpusim.New(clock, "g", profiler.GTX1080Ti, gpusim.Exclusive)
@@ -237,6 +239,7 @@ func dropPolicyBadRateTarget(policy backend.DropPolicy, p *profiler.Profile, pro
 	workload.Start(clock, rng, "s", 100*time.Millisecond, proc, clock.Now()+horizon,
 		func(r workload.Request) { _ = be.Enqueue("u", r) })
 	clock.Run()
+	rc.AddEvents(clock.Executed())
 	total := good + miss + drop
 	if total == 0 {
 		return 0
@@ -244,9 +247,9 @@ func dropPolicyBadRateTarget(policy backend.DropPolicy, p *profiler.Profile, pro
 	return float64(miss+drop) / float64(total)
 }
 
-func figure5(short bool) (*Table, error) {
+func figure5(rc *RunContext) (*Table, error) {
 	horizon := 60 * time.Second
-	if short {
+	if rc.Short {
 		horizon = 15 * time.Second
 	}
 	t := &Table{
@@ -255,21 +258,27 @@ func figure5(short bool) (*Table, error) {
 		Header: []string{"alpha (ms)", "uniform bad %", "poisson bad %"},
 		Notes:  []string{"paper Figure 5: poisson bad rate ~35% at alpha=1.0 falling toward ~10% at 1.8; uniform near zero"},
 	}
-	for _, alpha := range []float64{1.0, 1.2, 1.4, 1.6, 1.8} {
-		p := fig5Profile(alpha)
-		uni := dropPolicyBadRate(backend.LazyDrop{}, p, workload.Uniform{Rate: 450}, horizon, 1)
-		poi := dropPolicyBadRate(backend.LazyDrop{}, p, workload.Poisson{Rate: 450}, horizon, 2)
+	alphas := []float64{1.0, 1.2, 1.4, 1.6, 1.8}
+	// Cells: alpha x {uniform, poisson}.
+	bads := runner.Map(len(alphas)*2, func(i int) float64 {
+		p := fig5Profile(alphas[i/2])
+		if i%2 == 0 {
+			return dropPolicyBadRate(rc, backend.LazyDrop{}, p, workload.Uniform{Rate: 450}, horizon, 1)
+		}
+		return dropPolicyBadRate(rc, backend.LazyDrop{}, p, workload.Poisson{Rate: 450}, horizon, 2)
+	})
+	for i, alpha := range alphas {
 		t.AddRow(fmt.Sprintf("%.1f", alpha),
-			fmt.Sprintf("%.1f", 100*uni),
-			fmt.Sprintf("%.1f", 100*poi))
+			fmt.Sprintf("%.1f", 100*bads[2*i]),
+			fmt.Sprintf("%.1f", 100*bads[2*i+1]))
 	}
 	return t, nil
 }
 
-func figure9(short bool) (*Table, error) {
+func figure9(rc *RunContext) (*Table, error) {
 	horizon := 30 * time.Second
 	tol := 0.02
-	if short {
+	if rc.Short {
 		horizon = 10 * time.Second
 		tol = 0.05
 	}
@@ -279,15 +288,20 @@ func figure9(short bool) (*Table, error) {
 		Header: []string{"alpha (ms)", "lazy (req/s)", "early (req/s)", "early gain %", "optimal"},
 		Notes:  []string{"paper Figure 9: early drop up to ~25% higher than lazy; optimal is 500"},
 	}
-	for _, alpha := range []float64{1.0, 1.2, 1.4, 1.6, 1.8} {
-		p := fig5Profile(alpha)
-		maxTput := func(policy backend.DropPolicy) float64 {
-			return metrics.MaxGoodput(50, 520, metrics.GoodputTarget, tol, func(rate float64) float64 {
-				return dropPolicyBadRate(policy, p, workload.Poisson{Rate: rate}, horizon, 3)
-			})
+	alphas := []float64{1.0, 1.2, 1.4, 1.6, 1.8}
+	// Cells: alpha x {lazy, early}; each cell is a full k-probe search.
+	tputs := runner.Map(len(alphas)*2, func(i int) float64 {
+		p := fig5Profile(alphas[i/2])
+		var policy backend.DropPolicy = backend.LazyDrop{}
+		if i%2 == 1 {
+			policy = backend.EarlyDrop{}
 		}
-		lazy := maxTput(backend.LazyDrop{})
-		early := maxTput(backend.EarlyDrop{})
+		return metrics.MaxGoodputK(50, 520, metrics.GoodputTarget, tol, goodputProbes, func(rate float64) float64 {
+			return dropPolicyBadRate(rc, policy, p, workload.Poisson{Rate: rate}, horizon, 3)
+		})
+	})
+	for i, alpha := range alphas {
+		lazy, early := tputs[2*i], tputs[2*i+1]
 		t.AddRow(fmt.Sprintf("%.1f", alpha),
 			fmt.Sprintf("%.0f", lazy),
 			fmt.Sprintf("%.0f", early),
@@ -299,7 +313,7 @@ func figure9(short bool) (*Table, error) {
 
 // --- Figure 15 -------------------------------------------------------------
 
-func figure15(bool) (*Table, error) {
+func figure15(*RunContext) (*Table, error) {
 	mdb := model.Catalog()
 	pdb, err := profiler.CatalogProfiles(mdb)
 	if err != nil {

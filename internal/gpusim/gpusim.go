@@ -58,14 +58,23 @@ type Device struct {
 	memUsed int64
 	loaded  map[string]int64
 
-	// Exclusive mode state.
+	// Exclusive mode state. queue is a head-indexed slice: Submit appends,
+	// maybeStart pops from qhead, and the backing array is reused instead
+	// of re-allocated on every drain.
 	queue   []*job
+	qhead   int
 	running *job
+	// execDone is the exclusive-mode completion callback, bound once so
+	// each job does not allocate a fresh closure.
+	execDone func()
 
 	// Shared mode state.
 	shared     map[*job]struct{}
 	sharedAt   time.Duration // last time remaining-work was advanced
-	sharedNext *simclock.Timer
+	sharedNext simclock.Timer
+	sharedDone func()
+	// finBuf is scratch for collecting finished shared jobs.
+	finBuf []*job
 
 	// Utilization accounting.
 	busy      time.Duration
@@ -73,6 +82,8 @@ type Device struct {
 	idleFrom  time.Duration
 
 	jobSeq uint64
+	// freeJobs recycles job structs through the submit/complete hot path.
+	freeJobs []*job
 }
 
 type job struct {
@@ -89,7 +100,7 @@ func New(clock *simclock.Clock, id string, gpu profiler.GPUType, mode Mode) *Dev
 	if err != nil {
 		panic(err)
 	}
-	return &Device{
+	d := &Device{
 		ID:     id,
 		Spec:   spec,
 		Mode:   mode,
@@ -97,6 +108,31 @@ func New(clock *simclock.Clock, id string, gpu profiler.GPUType, mode Mode) *Dev
 		loaded: make(map[string]int64),
 		shared: make(map[*job]struct{}),
 	}
+	d.execDone = d.onExclusiveDone
+	d.sharedDone = d.onSharedDone
+	return d
+}
+
+// allocJob takes a job from the free list or allocates a fresh one.
+func (d *Device) allocJob(work time.Duration, done func()) *job {
+	var j *job
+	if n := len(d.freeJobs); n > 0 {
+		j = d.freeJobs[n-1]
+		d.freeJobs[n-1] = nil
+		d.freeJobs = d.freeJobs[:n-1]
+	} else {
+		j = &job{}
+	}
+	j.work, j.submitted, j.seq, j.done = work, d.clock.Now(), d.jobSeq, done
+	d.jobSeq++
+	return j
+}
+
+// recycleJob returns a completed job to the free list, releasing its
+// completion closure.
+func (d *Device) recycleJob(j *job) {
+	j.done = nil
+	d.freeJobs = append(d.freeJobs, j)
 }
 
 // MemUsed returns the bytes currently allocated for loaded models.
@@ -154,8 +190,7 @@ func (d *Device) Submit(work time.Duration, done func()) {
 	if work <= 0 {
 		panic(fmt.Sprintf("gpusim %s: non-positive work %v", d.ID, work))
 	}
-	j := &job{work: work, submitted: d.clock.Now(), seq: d.jobSeq, done: done}
-	d.jobSeq++
+	j := d.allocJob(work, done)
 	switch d.Mode {
 	case Exclusive:
 		d.queue = append(d.queue, j)
@@ -172,7 +207,7 @@ func (d *Device) Submit(work time.Duration, done func()) {
 
 // QueueLen returns the number of submitted-but-unfinished work items.
 func (d *Device) QueueLen() int {
-	n := len(d.queue) + len(d.shared)
+	n := len(d.queue) - d.qhead + len(d.shared)
 	if d.running != nil {
 		n++
 	}
@@ -213,21 +248,44 @@ func (d *Device) markIdle() {
 // --- exclusive mode ----------------------------------------------------
 
 func (d *Device) maybeStart() {
-	if d.running != nil || len(d.queue) == 0 {
+	if d.running != nil || d.qhead == len(d.queue) {
 		return
 	}
-	j := d.queue[0]
-	d.queue = d.queue[1:]
+	j := d.queue[d.qhead]
+	d.queue[d.qhead] = nil
+	d.qhead++
+	switch {
+	case d.qhead == len(d.queue):
+		// Drained: rewind to reuse the backing array.
+		d.queue = d.queue[:0]
+		d.qhead = 0
+	case d.qhead > 64 && d.qhead*2 >= len(d.queue):
+		// Mostly-consumed prefix: slide the tail down so a device that
+		// never fully drains still has bounded queue memory.
+		n := copy(d.queue, d.queue[d.qhead:])
+		for i := n; i < len(d.queue); i++ {
+			d.queue[i] = nil
+		}
+		d.queue = d.queue[:n]
+		d.qhead = 0
+	}
 	d.running = j
 	d.markBusy()
-	d.clock.After(j.work, func() {
-		d.running = nil
-		d.markIdle()
-		if j.done != nil {
-			j.done()
-		}
-		d.maybeStart()
-	})
+	d.clock.After(j.work, d.execDone)
+}
+
+// onExclusiveDone completes the running job. It is bound once at device
+// construction (see execDone) so job completion allocates no closure.
+func (d *Device) onExclusiveDone() {
+	j := d.running
+	d.running = nil
+	d.markIdle()
+	done := j.done
+	d.recycleJob(j)
+	if done != nil {
+		done()
+	}
+	d.maybeStart()
 }
 
 // --- shared (processor sharing) mode ------------------------------------
@@ -257,10 +315,8 @@ func (d *Device) advanceShared() {
 // rescheduleShared sets the completion timer for the job with least
 // remaining work.
 func (d *Device) rescheduleShared() {
-	if d.sharedNext != nil {
-		d.sharedNext.Stop()
-		d.sharedNext = nil
-	}
+	d.sharedNext.Stop()
+	d.sharedNext = simclock.Timer{}
 	if len(d.shared) == 0 {
 		return
 	}
@@ -275,34 +331,45 @@ func (d *Device) rescheduleShared() {
 	if wait < 0 {
 		wait = 0
 	}
-	d.sharedNext = d.clock.After(wait, func() {
-		d.advanceShared()
-		// Complete every job whose work is exhausted (ties finish together).
-		var finished []*job
-		for j := range d.shared {
-			if j.work <= time.Nanosecond {
-				finished = append(finished, j)
+	d.sharedNext = d.clock.After(wait, d.sharedDone)
+}
+
+// onSharedDone fires when the shared job with least remaining work should
+// finish. Bound once at construction (see sharedDone) to keep reschedules
+// allocation-free.
+func (d *Device) onSharedDone() {
+	d.advanceShared()
+	// Complete every job whose work is exhausted (ties finish together).
+	finished := d.finBuf[:0]
+	for j := range d.shared {
+		if j.work <= time.Nanosecond {
+			finished = append(finished, j)
+		}
+	}
+	for _, j := range finished {
+		delete(d.shared, j)
+	}
+	if len(d.shared) == 0 {
+		d.markIdle()
+	}
+	// Deterministic completion order: by submission sequence.
+	for i := 0; i < len(finished); i++ {
+		for k := i + 1; k < len(finished); k++ {
+			if finished[k].seq < finished[i].seq {
+				finished[i], finished[k] = finished[k], finished[i]
 			}
 		}
-		for _, j := range finished {
-			delete(d.shared, j)
+	}
+	for _, j := range finished {
+		done := j.done
+		d.recycleJob(j)
+		if done != nil {
+			done()
 		}
-		if len(d.shared) == 0 {
-			d.markIdle()
-		}
-		// Deterministic completion order: by submission sequence.
-		for i := 0; i < len(finished); i++ {
-			for k := i + 1; k < len(finished); k++ {
-				if finished[k].seq < finished[i].seq {
-					finished[i], finished[k] = finished[k], finished[i]
-				}
-			}
-		}
-		for _, j := range finished {
-			if j.done != nil {
-				j.done()
-			}
-		}
-		d.rescheduleShared()
-	})
+	}
+	for i := range finished {
+		finished[i] = nil
+	}
+	d.finBuf = finished[:0]
+	d.rescheduleShared()
 }

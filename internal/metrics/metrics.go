@@ -9,6 +9,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"nexus/internal/runner"
 )
 
 // Histogram is a logarithmically-bucketed latency histogram with ~2%
@@ -305,6 +307,80 @@ func MaxGoodput(lo, hi float64, target float64, tol float64, eval func(rate floa
 		} else {
 			bad = mid
 		}
+	}
+	return good
+}
+
+// MaxGoodputK is the speculative variant of MaxGoodput: each round it
+// evaluates k evenly spaced candidate rates inside the bracket
+// concurrently (bounded by the runner pool), then uses eval's monotonicity
+// to collapse the bracket onto the interval between the highest passing
+// and lowest failing probe — a shrink factor of 1/(k+1) per round instead
+// of binary search's 1/2.
+//
+// The probe rates depend only on (lo, hi, k), never on worker count or
+// completion order, so the result is identical whether the probes run on
+// one goroutine or many. eval must be safe for concurrent invocation: each
+// call must build its own isolated simulation (its own clock, rng, and
+// deployment), which every builder in internal/experiments does.
+//
+// k <= 1 degenerates to the sequential bisection of MaxGoodput.
+func MaxGoodputK(lo, hi float64, target float64, tol float64, k int, eval func(rate float64) (badRate float64)) float64 {
+	if k <= 1 {
+		return MaxGoodput(lo, hi, target, tol, eval)
+	}
+	if lo <= 0 {
+		lo = 1
+	}
+	if tol <= 0 {
+		tol = 0.02
+	}
+	maxBad := 1 - target
+	// Probe the endpoints together: one concurrent round instead of two
+	// sequential full simulations.
+	ends := runner.Map(2, func(i int) float64 {
+		if i == 0 {
+			return eval(lo)
+		}
+		return eval(hi)
+	})
+	if ends[0] > maxBad {
+		return 0
+	}
+	if ends[1] <= maxBad {
+		return hi
+	}
+	good, bad := lo, hi
+	for bad-good > tol*bad {
+		width := bad - good
+		rates := make([]float64, k)
+		for i := range rates {
+			rates[i] = good + width*float64(i+1)/float64(k+1)
+		}
+		results := runner.Map(k, func(i int) float64 { return eval(rates[i]) })
+		// Monotone collapse: the highest passing probe raises good, the
+		// lowest failing probe lowers bad. Probes between them would be
+		// contradictory under strict monotonicity; trusting the
+		// highest-pass/lowest-fail pair keeps the bracket valid even when
+		// simulation noise perturbs a middle probe.
+		newGood, newBad := good, bad
+		for i := k - 1; i >= 0; i-- {
+			if results[i] <= maxBad {
+				newGood = rates[i]
+				break
+			}
+		}
+		for i := 0; i < k; i++ {
+			if results[i] > maxBad {
+				newBad = rates[i]
+				break
+			}
+		}
+		if newBad <= newGood {
+			// Noise inverted the bracket; settle on the passing probe.
+			return newGood
+		}
+		good, bad = newGood, newBad
 	}
 	return good
 }

@@ -7,6 +7,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"nexus/internal/runner"
 )
 
 func TestHistogramEmpty(t *testing.T) {
@@ -289,5 +291,85 @@ func TestTimeSeriesSparseBuckets(t *testing.T) {
 	}
 	if ts.Sum(5) != 0 || ts.Sum(10) != 5 {
 		t.Fatal("sparse bucket accounting wrong")
+	}
+}
+
+func TestMaxGoodputKMatchesCapacity(t *testing.T) {
+	eval := func(rate float64) float64 {
+		if rate <= 500 {
+			return 0
+		}
+		return 0.5
+	}
+	for _, k := range []int{2, 3, 4, 8} {
+		got := MaxGoodputK(1, 10000, GoodputTarget, 0.01, k, eval)
+		if math.Abs(got-500) > 10 {
+			t.Fatalf("k=%d: MaxGoodputK = %v, want ~500", k, got)
+		}
+	}
+}
+
+func TestMaxGoodputKEdges(t *testing.T) {
+	if got := MaxGoodputK(1, 1000, GoodputTarget, 0.01, 4, func(float64) float64 { return 1 }); got != 0 {
+		t.Fatalf("all-bad: got %v, want 0", got)
+	}
+	if got := MaxGoodputK(1, 1000, GoodputTarget, 0.01, 4, func(float64) float64 { return 0 }); got != 1000 {
+		t.Fatalf("all-good: got %v, want hi bound 1000", got)
+	}
+	// k<=1 falls back to the sequential bisection.
+	seq := MaxGoodput(1, 1000, GoodputTarget, 0.01, func(r float64) float64 {
+		if r <= 300 {
+			return 0
+		}
+		return 1
+	})
+	k1 := MaxGoodputK(1, 1000, GoodputTarget, 0.01, 1, func(r float64) float64 {
+		if r <= 300 {
+			return 0
+		}
+		return 1
+	})
+	if seq != k1 {
+		t.Fatalf("k=1 fallback diverged: %v vs %v", k1, seq)
+	}
+}
+
+// The k-probe search must be deterministic regardless of worker count:
+// probe placement depends only on the bracket, and the monotone collapse
+// depends only on probe results, not completion order.
+func TestMaxGoodputKDeterministicAcrossWorkers(t *testing.T) {
+	eval := func(rate float64) float64 {
+		if rate <= 777 {
+			return 0.004
+		}
+		return 0.3
+	}
+	prev := runner.SetDefaultWorkers(1)
+	defer runner.SetDefaultWorkers(prev)
+	seq := MaxGoodputK(1, 10000, GoodputTarget, 0.01, 4, eval)
+	runner.SetDefaultWorkers(8)
+	par := MaxGoodputK(1, 10000, GoodputTarget, 0.01, 4, eval)
+	if seq != par {
+		t.Fatalf("worker count changed the result: %v vs %v", seq, par)
+	}
+}
+
+// Property: MaxGoodputK lands within tolerance of a random true capacity.
+func TestPropertyMaxGoodputK(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 50 + rng.Float64()*5000
+		k := 2 + int(seed%5+4)%5
+		eval := func(rate float64) float64 {
+			if rate <= capacity {
+				return 0.002
+			}
+			return 0.2
+		}
+		got := MaxGoodputK(1, 10000, GoodputTarget, 0.01, k, eval)
+		return got <= capacity && got >= capacity*0.97
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
 	}
 }

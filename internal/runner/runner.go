@@ -1,0 +1,111 @@
+// Package runner provides a bounded fork-join worker pool for the
+// experiment engine. Every sweep in internal/experiments fans independent
+// cells (system x SLO x gamma x feature x model-count) through Map, and the
+// speculative goodput search (metrics.MaxGoodputK) uses it to probe several
+// candidate rates per round.
+//
+// Determinism contract: results are always returned in input-index order,
+// and item i's result depends only on fn(i) — never on scheduling. A run
+// with Workers=1 therefore produces byte-identical experiment tables to a
+// run with Workers=N; the determinism test in internal/experiments asserts
+// exactly that.
+//
+// The worker bound is per Map call (nested calls each apply their own
+// bound rather than sharing a global semaphore, which would deadlock when
+// an outer task blocks on an inner Map). Nesting depth in this repo is at
+// most three — experiments x sweep cells x goodput probes — so transient
+// oversubscription stays small and the Go scheduler absorbs it.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the pool size used by Map/MapErr when the caller does
+// not specify one. <= 0 means runtime.GOMAXPROCS(0).
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the default parallelism for Map and MapErr.
+// n <= 0 resets to GOMAXPROCS. It returns the previous setting.
+// nexus-bench wires its -parallel flag here; 1 forces fully sequential
+// execution.
+func SetDefaultWorkers(n int) int {
+	return int(defaultWorkers.Swap(int64(n)))
+}
+
+// DefaultWorkers returns the current default parallelism.
+func DefaultWorkers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(0..n-1) on up to DefaultWorkers() goroutines and returns the
+// results in index order. fn must be safe for concurrent invocation.
+func Map[T any](n int, fn func(i int) T) []T {
+	return MapN(DefaultWorkers(), n, fn)
+}
+
+// MapN is Map with an explicit worker bound (<= 0 means GOMAXPROCS).
+func MapN[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]T, n)
+	if workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// MapErr runs fn(0..n-1) concurrently like Map. If any invocation returns
+// an error, MapErr reports the error with the lowest index (deterministic
+// regardless of completion order) alongside the partial results; result i
+// is valid iff fn(i) returned nil.
+func MapErr[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	type slot struct {
+		v   T
+		err error
+	}
+	slots := MapN(DefaultWorkers(), n, func(i int) slot {
+		v, err := fn(i)
+		return slot{v, err}
+	})
+	out := make([]T, n)
+	var firstErr error
+	for i, s := range slots {
+		out[i] = s.v
+		if s.err != nil && firstErr == nil {
+			firstErr = s.err
+		}
+	}
+	return out, firstErr
+}

@@ -1,0 +1,121 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		got := MapN(workers, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := MapN(4, 0, func(i int) int { return i }); got != nil {
+		t.Fatalf("MapN(_, 0) = %v, want nil", got)
+	}
+}
+
+func TestMapBoundsWorkers(t *testing.T) {
+	var active, peak atomic.Int64
+	MapN(3, 64, func(i int) struct{} {
+		n := active.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		// Busy-wait a little so workers overlap.
+		for j := 0; j < 1000; j++ {
+			_ = j
+		}
+		active.Add(-1)
+		return struct{}{}
+	})
+	if peak.Load() > 3 {
+		t.Fatalf("observed %d concurrent workers, bound is 3", peak.Load())
+	}
+}
+
+func TestMapSequentialMatchesParallel(t *testing.T) {
+	fn := func(i int) string { return fmt.Sprintf("cell-%d", i*7%13) }
+	seq := MapN(1, 50, fn)
+	par := MapN(8, 50, fn)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("index %d: sequential %q != parallel %q", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMapErrFirstIndexWins(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	_, err := MapErr(20, func(i int) (int, error) {
+		switch i {
+		case 17:
+			return 0, errHigh
+		case 3:
+			return 0, errLow
+		}
+		return i, nil
+	})
+	if err != errLow {
+		t.Fatalf("MapErr returned %v, want lowest-index error %v", err, errLow)
+	}
+	out, err := MapErr(5, func(i int) (int, error) { return i * 2, nil })
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*2)
+		}
+	}
+}
+
+func TestSetDefaultWorkers(t *testing.T) {
+	prev := SetDefaultWorkers(3)
+	defer SetDefaultWorkers(prev)
+	if DefaultWorkers() != 3 {
+		t.Fatalf("DefaultWorkers() = %d, want 3", DefaultWorkers())
+	}
+	SetDefaultWorkers(0)
+	if DefaultWorkers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers() = %d, want GOMAXPROCS %d", DefaultWorkers(), runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestNestedMap exercises the nesting pattern the experiment engine uses
+// (experiments x cells x probes) under the race detector.
+func TestNestedMap(t *testing.T) {
+	total := MapN(4, 6, func(i int) int {
+		inner := MapN(4, 8, func(j int) int { return i*8 + j })
+		sum := 0
+		for _, v := range inner {
+			sum += v
+		}
+		return sum
+	})
+	want := 0
+	for i := 0; i < 48; i++ {
+		want += i
+	}
+	got := 0
+	for _, v := range total {
+		got += v
+	}
+	if got != want {
+		t.Fatalf("nested sum = %d, want %d", got, want)
+	}
+}

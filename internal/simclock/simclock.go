@@ -6,6 +6,17 @@
 // order they were scheduled, which makes every simulation fully
 // deterministic and lets thousand-second deployments replay in milliseconds
 // of wall time.
+//
+// A Clock is single-threaded by design: it has no locks, and all events of
+// one simulation run on the goroutine that calls Run/RunUntil/Step.
+// Concurrency in the experiment engine comes from running many independent
+// Clocks (one per cluster.Deployment) on different goroutines, which is
+// safe precisely because clocks share no state.
+//
+// The scheduling hot path is allocation-light: fired and cancelled events
+// are recycled through a per-clock free list, Timer handles are plain
+// values (a generation counter makes stale handles inert when their event
+// is reused), and the event heap is pre-sized.
 package simclock
 
 import (
@@ -13,6 +24,11 @@ import (
 	"fmt"
 	"time"
 )
+
+// initialQueueCap pre-sizes the event heap and free list; busy deployments
+// hold hundreds of in-flight events (one per queued request plus control
+// timers), so this avoids the early growth reallocations on every probe.
+const initialQueueCap = 256
 
 // Clock is a discrete-event simulation clock. The zero value is not usable;
 // call New.
@@ -24,20 +40,30 @@ type Clock struct {
 	stepped uint64
 	// limit aborts Run after this many events when non-zero.
 	limit uint64
+	// live counts scheduled, uncancelled events so Pending is O(1).
+	live int
+	// free recycles event structs; each reuse bumps the event's generation
+	// so stale Timer handles cannot touch the new occupant.
+	free []*event
 }
 
-// Timer is a handle to a scheduled event. It can be cancelled before firing.
+// Timer is a handle to a scheduled event. It can be cancelled before
+// firing. Timers are small values: copying one copies the handle, and the
+// zero Timer is valid and inert (Stop reports false).
 type Timer struct {
-	event *event
+	clock *Clock
+	ev    *event
+	gen   uint64
 }
 
 // Stop cancels the timer. It reports whether the call prevented the event
 // from firing (false if it already fired or was already stopped).
-func (t *Timer) Stop() bool {
-	if t == nil || t.event == nil || t.event.cancelled || t.event.fired {
+func (t Timer) Stop() bool {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.cancelled {
 		return false
 	}
-	t.event.cancelled = true
+	t.ev.cancelled = true
+	t.clock.live--
 	return true
 }
 
@@ -46,28 +72,21 @@ type event struct {
 	seq       uint64
 	fn        func()
 	cancelled bool
-	fired     bool
-	index     int // heap index
+	// gen increments every time the struct is recycled; Timer handles
+	// capture the generation they were issued for.
+	gen uint64
 }
 
 // New returns a clock starting at time zero with an empty event queue.
 func New() *Clock {
-	return &Clock{}
+	return &Clock{queue: make(eventQueue, 0, initialQueueCap)}
 }
 
 // Now returns the current virtual time.
 func (c *Clock) Now() time.Duration { return c.now }
 
 // Pending returns the number of scheduled, uncancelled events.
-func (c *Clock) Pending() int {
-	n := 0
-	for _, e := range c.queue {
-		if !e.cancelled {
-			n++
-		}
-	}
-	return n
-}
+func (c *Clock) Pending() int { return c.live }
 
 // Executed returns the total number of events that have fired.
 func (c *Clock) Executed() uint64 { return c.stepped }
@@ -76,21 +95,43 @@ func (c *Clock) Executed() uint64 { return c.stepped }
 // It is a guard against runaway simulations in tests.
 func (c *Clock) SetEventLimit(n uint64) { c.limit = n }
 
+// alloc takes an event from the free list or allocates a fresh one.
+func (c *Clock) alloc() *event {
+	if n := len(c.free); n > 0 {
+		e := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// recycle returns an event to the free list, invalidating outstanding
+// Timer handles and releasing the callback closure.
+func (c *Clock) recycle(e *event) {
+	e.gen++
+	e.fn = nil
+	e.cancelled = false
+	c.free = append(c.free, e)
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: a discrete-event simulation must never travel backwards, and a
 // past timestamp always indicates a bug in the caller.
-func (c *Clock) At(t time.Duration, fn func()) *Timer {
+func (c *Clock) At(t time.Duration, fn func()) Timer {
 	if t < c.now {
 		panic(fmt.Sprintf("simclock: scheduling at %v, before now %v", t, c.now))
 	}
-	e := &event{at: t, seq: c.seq, fn: fn}
+	e := c.alloc()
+	e.at, e.seq, e.fn = t, c.seq, fn
 	c.seq++
+	c.live++
 	heap.Push(&c.queue, e)
-	return &Timer{event: e}
+	return Timer{clock: c, ev: e, gen: e.gen}
 }
 
 // After schedules fn to run d from now. Negative d is clamped to zero.
-func (c *Clock) After(d time.Duration, fn func()) *Timer {
+func (c *Clock) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -103,15 +144,20 @@ func (c *Clock) Step() bool {
 	for len(c.queue) > 0 {
 		e := heap.Pop(&c.queue).(*event)
 		if e.cancelled {
+			c.recycle(e)
 			continue
 		}
 		c.now = e.at
-		e.fired = true
 		c.stepped++
+		c.live--
+		fn := e.fn
+		// Recycle before running fn: the event is off the heap and fn may
+		// legitimately schedule new events that reuse the struct.
+		c.recycle(e)
 		if c.limit != 0 && c.stepped > c.limit {
 			panic(fmt.Sprintf("simclock: event limit %d exceeded at t=%v", c.limit, c.now))
 		}
-		e.fn()
+		fn()
 		return true
 	}
 	return false
@@ -141,7 +187,7 @@ func (c *Clock) RunUntil(t time.Duration) {
 func (c *Clock) peek() *event {
 	for len(c.queue) > 0 {
 		if c.queue[0].cancelled {
-			heap.Pop(&c.queue)
+			c.recycle(heap.Pop(&c.queue).(*event))
 			continue
 		}
 		return c.queue[0]
@@ -155,7 +201,7 @@ type Ticker struct {
 	clock   *Clock
 	period  time.Duration
 	fn      func()
-	timer   *Timer
+	timer   Timer
 	stopped bool
 }
 
@@ -185,9 +231,7 @@ func (t *Ticker) schedule() {
 // Stop cancels future ticks.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.timer != nil {
-		t.timer.Stop()
-	}
+	t.timer.Stop()
 }
 
 // eventQueue is a min-heap ordered by (at, seq).
@@ -204,14 +248,10 @@ func (q eventQueue) Less(i, j int) bool {
 
 func (q eventQueue) Swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
 }
 
 func (q *eventQueue) Push(x any) {
-	e := x.(*event)
-	e.index = len(*q)
-	*q = append(*q, e)
+	*q = append(*q, x.(*event))
 }
 
 func (q *eventQueue) Pop() any {

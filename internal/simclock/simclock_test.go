@@ -269,3 +269,95 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		c.Run()
 	}
 }
+
+func TestStaleTimerCannotCancelRecycledEvent(t *testing.T) {
+	c := New()
+	stale := c.After(time.Millisecond, func() {})
+	c.Run() // fires; the event struct returns to the free list
+	fired := false
+	c.After(time.Millisecond, func() { fired = true }) // reuses the struct
+	if stale.Stop() {
+		t.Fatal("Stop on a fired timer returned true after recycling")
+	}
+	c.Run()
+	if !fired {
+		t.Fatal("stale timer handle cancelled a recycled event")
+	}
+}
+
+func TestZeroTimerStop(t *testing.T) {
+	var tm Timer
+	if tm.Stop() {
+		t.Fatal("zero Timer Stop returned true")
+	}
+}
+
+func TestPendingCountsLiveEvents(t *testing.T) {
+	c := New()
+	timers := make([]Timer, 0, 10)
+	for i := 0; i < 10; i++ {
+		timers = append(timers, c.After(time.Duration(i+1)*time.Millisecond, func() {}))
+	}
+	if c.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", c.Pending())
+	}
+	timers[3].Stop()
+	timers[7].Stop()
+	if c.Pending() != 8 {
+		t.Fatalf("Pending after two cancels = %d, want 8", c.Pending())
+	}
+	timers[3].Stop() // double-stop must not double-decrement
+	if c.Pending() != 8 {
+		t.Fatalf("Pending after double-stop = %d, want 8", c.Pending())
+	}
+	c.Step()
+	if c.Pending() != 7 {
+		t.Fatalf("Pending after one fire = %d, want 7", c.Pending())
+	}
+	c.Run()
+	if c.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", c.Pending())
+	}
+}
+
+func TestEventStructsAreReused(t *testing.T) {
+	c := New()
+	// Drive a self-rescheduling event: steady state should cycle one event
+	// struct through the free list instead of allocating per step.
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < 1000 {
+			c.After(time.Microsecond, fn)
+		}
+	}
+	c.After(time.Microsecond, fn)
+	allocs := testing.AllocsPerRun(1, func() { c.Run() })
+	if n != 1000 {
+		t.Fatalf("ran %d events, want 1000", n)
+	}
+	// The whole 999-step run should allocate a handful of objects at most
+	// (closure captures), not one per event.
+	if allocs > 50 {
+		t.Fatalf("steady-state run allocated %.0f objects; events are not being reused", allocs)
+	}
+}
+
+// BenchmarkSteadyStateChurn measures the recurring schedule->fire cycle a
+// long simulation spends its time in (allocs/op should be ~0).
+func BenchmarkSteadyStateChurn(b *testing.B) {
+	c := New()
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			c.After(time.Microsecond, fn)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	c.After(time.Microsecond, fn)
+	c.Run()
+}
