@@ -29,6 +29,9 @@ type Config struct {
 	Overlap    bool       // overlap CPU pre/post-processing with GPU work
 	CPUWorkers int        // preprocessing thread pool size; 0 = 5 (§6.3)
 	Discipline Discipline
+	// MaxQueue bounds each unit's queue; Enqueue returns ErrQueueFull at
+	// capacity. 0 = unbounded (the default; the drop policy sheds load).
+	MaxQueue int
 	// OnBatch, when set, observes every batch submitted to the GPU
 	// (tracing hook; must not mutate the batch).
 	OnBatch func(backendID, unitID string, batch []Request)
@@ -61,8 +64,8 @@ type Unit struct {
 	Suffix *profiler.Profile
 }
 
-// CompletionFunc observes every finished or dropped request.
-type CompletionFunc func(req Request, dropped bool, completedAt time.Duration)
+// CompletionFunc observes every finished or lost request with its outcome.
+type CompletionFunc func(req Request, outcome Outcome, completedAt time.Duration)
 
 // Backend is one GPU worker node.
 type Backend struct {
@@ -82,6 +85,17 @@ type Backend struct {
 	// batches/items track executed batch statistics.
 	batches uint64
 	items   uint64
+
+	// failed marks a crashed node: it serves nothing, rejects enqueues,
+	// and stops heartbeating until Restart.
+	failed bool
+	// inc is the incarnation counter, bumped on every crash; batch
+	// completions from a previous incarnation report their requests as
+	// failures instead of resuming the old execution chain.
+	inc uint64
+
+	hb       *simclock.Ticker
+	hbPeriod time.Duration
 }
 
 type unitState struct {
@@ -140,6 +154,9 @@ func (b *Backend) QueueLen(unitID string) int {
 // takes real time — hundreds of ms, §2.2) and only serve once ready;
 // removed units are unloaded and their queued requests dropped.
 func (b *Backend) Configure(units []Unit) error {
+	if b.failed {
+		return fmt.Errorf("backend %s: %w", b.ID, ErrBackendDown)
+	}
 	newSet := make(map[string]bool, len(units))
 	for _, u := range units {
 		if u.Profile == nil {
@@ -158,10 +175,10 @@ func (b *Backend) Configure(units []Unit) error {
 			continue
 		}
 		for _, r := range u.queue.PopN(u.queue.Len()) {
-			b.complete(r, true)
+			b.complete(r, DropReconfig)
 		}
 		for _, r := range u.deferred.PopN(u.deferred.Len()) {
-			b.complete(r, true)
+			b.complete(r, DropReconfig)
 		}
 		b.dev.Unload(u.ID)
 		delete(b.byID, u.ID)
@@ -187,20 +204,123 @@ func (b *Backend) Configure(units []Unit) error {
 	return nil
 }
 
-// Enqueue adds a request to a unit's queue.
+// Enqueue adds a request to a unit's queue. It fails with ErrBackendDown
+// on a crashed node, ErrUnitRemoved when the unit does not exist here (a
+// reconfiguration race), and ErrQueueFull at a bounded queue's capacity —
+// all wrapped, so callers classify with errors.Is.
 func (b *Backend) Enqueue(unitID string, req Request) error {
+	if b.failed {
+		return fmt.Errorf("backend %s: %w", b.ID, ErrBackendDown)
+	}
 	u, ok := b.byID[unitID]
 	if !ok {
-		return fmt.Errorf("backend %s: no unit %s", b.ID, unitID)
+		return fmt.Errorf("backend %s: unit %s: %w", b.ID, unitID, ErrUnitRemoved)
+	}
+	if b.cfg.MaxQueue > 0 && u.queue.Len() >= b.cfg.MaxQueue {
+		return fmt.Errorf("backend %s: unit %s: %w", b.ID, unitID, ErrQueueFull)
 	}
 	u.queue.Push(req)
 	b.wake(u)
 	return nil
 }
 
-func (b *Backend) complete(r Request, dropped bool) {
+func (b *Backend) complete(r Request, outcome Outcome) {
 	if b.onDone != nil {
-		b.onDone(r, dropped, b.clock.Now())
+		b.onDone(r, outcome, b.clock.Now())
+	}
+}
+
+// Alive reports whether the backend is serving (not crashed).
+func (b *Backend) Alive() bool { return !b.failed }
+
+// Fail crashes the backend: every queued and deferred request is lost as a
+// failure, resident models are wiped (GPU memory does not survive a node
+// crash), and in-flight batches — whose device timers still fire — report
+// their requests as failures instead of completing. The node rejects all
+// traffic until Restart.
+func (b *Backend) Fail() {
+	if b.failed {
+		return
+	}
+	b.failed = true
+	b.inc++
+	for _, u := range b.units {
+		for _, r := range u.queue.PopN(u.queue.Len()) {
+			b.complete(r, DropFailure)
+		}
+		for _, r := range u.deferred.PopN(u.deferred.Len()) {
+			b.complete(r, DropFailure)
+		}
+		b.dev.Unload(u.ID)
+	}
+	b.units = nil
+	b.byID = make(map[string]*unitState)
+	b.rrIdx = 0
+	b.rrRunning = false
+}
+
+// Restart returns a crashed backend to service as a fresh, empty node: no
+// units, no resident models. Heartbeats (if started) resume on the next
+// tick; the control plane must Configure it before it serves anything.
+// A live backend is unchanged.
+func (b *Backend) Restart() {
+	if !b.failed {
+		return
+	}
+	b.failed = false
+	b.lastGPUEnd = 0
+}
+
+// Reset drains and clears a live backend before it is recycled to another
+// tenant: queued and deferred requests complete as reconfiguration drops,
+// units are removed and their models unloaded, and duty-cycle and batch
+// statistics are cleared. In-flight batches still complete through their
+// own callbacks.
+func (b *Backend) Reset() {
+	for _, u := range b.units {
+		for _, r := range u.queue.PopN(u.queue.Len()) {
+			b.complete(r, DropReconfig)
+		}
+		for _, r := range u.deferred.PopN(u.deferred.Len()) {
+			b.complete(r, DropReconfig)
+		}
+		b.dev.Unload(u.ID)
+	}
+	b.units = nil
+	b.byID = make(map[string]*unitState)
+	b.rrIdx = 0
+	b.lastGPUEnd = 0
+	b.batches, b.items = 0, 0
+}
+
+// StartHeartbeat begins emitting liveness beats every period on the
+// simulation clock: sink receives the backend ID at each beat. Beats pause
+// while the backend is failed and resume after Restart. Calling it again
+// with the same period is a no-op; a different period restarts the ticker.
+func (b *Backend) StartHeartbeat(period time.Duration, sink func(id string)) {
+	if period <= 0 {
+		return
+	}
+	if b.hb != nil {
+		if b.hbPeriod == period {
+			return
+		}
+		b.hb.Stop()
+	}
+	b.hbPeriod = period
+	b.hb = b.clock.StartTicker(period, func() {
+		if !b.failed {
+			sink(b.ID)
+		}
+	})
+}
+
+// StopHeartbeat cancels heartbeats (no-op when none are running).
+func (b *Backend) StopHeartbeat() {
+	if b.hb != nil {
+		b.hb.Stop()
+		b.hb = nil
+		b.hbPeriod = 0
 	}
 }
 
@@ -282,6 +402,10 @@ func (b *Backend) dynamicTarget(u *unitState) int {
 // stepRR runs the round-robin GPU scheduler: find the next unit with work,
 // execute one batch, repeat. Goes idle when no unit has work.
 func (b *Backend) stepRR() {
+	if b.failed {
+		b.rrRunning = false
+		return
+	}
 	for scanned := 0; scanned < len(b.units); scanned++ {
 		u := b.units[b.rrIdx]
 		b.rrIdx = (b.rrIdx + 1) % len(b.units)
@@ -326,13 +450,13 @@ func (b *Backend) handleDropped(u *unitState, dropped []Request) {
 			u.deferred.Push(r)
 			continue
 		}
-		b.complete(r, true)
+		b.complete(r, DropDeadline)
 	}
 }
 
 // stepUnit runs one unit's independent loop (Parallel discipline).
 func (b *Backend) stepUnit(u *unitState) {
-	if u.running || !u.ready || u.queue.Len() == 0 {
+	if b.failed || u.running || !u.ready || u.queue.Len() == 0 {
 		return
 	}
 	batch, dropped := b.cfg.Policy.Pick(&u.queue, b.clock.Now(), b.dynamicTarget(u), func(n int) time.Duration {
@@ -402,12 +526,28 @@ func (b *Backend) execute(u *unitState, batch []Request, done func()) {
 	if b.cfg.OnBatch != nil {
 		b.cfg.OnBatch(b.ID, u.ID, batch)
 	}
+	// Capture the incarnation: if the node crashes while this batch is in
+	// flight, its device timers still fire, but the results are lost — the
+	// requests complete as failures and the old execution chain halts
+	// rather than resuming on the restarted node.
+	inc := b.inc
 	gpu := b.gpuTime(u, batch)
 	pre := b.cpuTime(u.Profile.PreprocCPU, n)
 	post := b.cpuTime(u.Profile.PostprocCPU, n)
 	finish := func() {
+		if b.inc != inc {
+			for _, r := range batch {
+				b.complete(r, DropFailure)
+			}
+			return
+		}
 		for _, r := range batch {
-			b.complete(r, false)
+			b.complete(r, OK)
+		}
+	}
+	step := func() {
+		if b.inc == inc {
+			done()
 		}
 	}
 	if b.cfg.Overlap {
@@ -421,7 +561,7 @@ func (b *Backend) execute(u *unitState, batch []Request, done func()) {
 				// Postprocessing happens on the CPU pool, off the GPU's
 				// critical path: the next batch may start immediately.
 				b.clock.After(post, func() { finish() })
-				done()
+				step()
 			})
 		})
 		return
@@ -431,7 +571,7 @@ func (b *Backend) execute(u *unitState, batch []Request, done func()) {
 			b.lastGPUEnd = b.clock.Now()
 			b.clock.After(post, func() {
 				finish()
-				done()
+				step()
 			})
 		})
 	})

@@ -188,9 +188,9 @@ func newHarness(t *testing.T, cfg Config, mode gpusim.Mode) *harness {
 	t.Helper()
 	h := &harness{clock: simclock.New()}
 	h.dev = gpusim.New(h.clock, "gpu0", profiler.GTX1080Ti, mode)
-	h.backend = New("b0", h.clock, h.dev, cfg, func(req Request, dropped bool, at time.Duration) {
+	h.backend = New("b0", h.clock, h.dev, cfg, func(req Request, outcome Outcome, at time.Duration) {
 		switch {
-		case dropped:
+		case outcome.Bad():
 			h.dropped++
 		case at > req.Deadline:
 			h.missed++
@@ -404,7 +404,7 @@ func TestModelLoadDelaysServing(t *testing.T) {
 		t.Fatal(err)
 	}
 	var completedAt time.Duration
-	h.backend.onDone = func(req Request, dropped bool, at time.Duration) {
+	h.backend.onDone = func(req Request, outcome Outcome, at time.Duration) {
 		completedAt = at
 	}
 	_ = h.backend.Enqueue("u", mkReq(0, 0, time.Hour))
@@ -422,9 +422,9 @@ func TestDeferDroppedServesLate(t *testing.T) {
 		clock := simclock.New()
 		dev := gpusim.New(clock, "g", profiler.GTX1080Ti, gpusim.Exclusive)
 		be := New("b", clock, dev, Config{Overlap: true, DeferDropped: deferOn},
-			func(r Request, drop bool, at time.Duration) {
+			func(r Request, outcome Outcome, at time.Duration) {
 				switch {
-				case drop:
+				case outcome.Bad():
 					dropped++
 				case at > r.Deadline:
 					missed++
@@ -466,8 +466,8 @@ func TestDeferredQueueBounded(t *testing.T) {
 	dev := gpusim.New(clock, "g", profiler.GTX1080Ti, gpusim.Exclusive)
 	dropped := 0
 	be := New("b", clock, dev, Config{Overlap: true, DeferDropped: true},
-		func(r Request, drop bool, at time.Duration) {
-			if drop {
+		func(r Request, outcome Outcome, at time.Duration) {
+			if outcome.Bad() {
 				dropped++
 			}
 		})
@@ -491,8 +491,8 @@ func TestConfigureRemovalDrainsDeferred(t *testing.T) {
 	dev := gpusim.New(clock, "g", profiler.GTX1080Ti, gpusim.Exclusive)
 	dropped := 0
 	be := New("b", clock, dev, Config{Overlap: true, DeferDropped: true},
-		func(r Request, drop bool, at time.Duration) {
-			if drop {
+		func(r Request, outcome Outcome, at time.Duration) {
+			if outcome.Bad() {
 				dropped++
 			}
 		})
@@ -515,7 +515,7 @@ func TestPrefixGroupPerMemberSuffixTiming(t *testing.T) {
 	clock := simclock.New()
 	dev := gpusim.New(clock, "g", profiler.GTX1080Ti, gpusim.Exclusive)
 	var done int
-	be := New("b", clock, dev, Config{Overlap: true}, func(Request, bool, time.Duration) { done++ })
+	be := New("b", clock, dev, Config{Overlap: true}, func(Request, Outcome, time.Duration) { done++ })
 	base := testUnitProfile()
 	base.PreprocCPU, base.PostprocCPU = 0, 0
 	pre, suf := base.Split(0.9)

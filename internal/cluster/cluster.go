@@ -85,6 +85,26 @@ type Config struct {
 	// Frontends is the number of data-plane frontend replicas requests are
 	// load-balanced across (§5's "distributed frontend"; default 1).
 	Frontends int
+	// Heartbeat enables failure detection: backends beat at this period and
+	// the control plane declares one dead after LeaseMisses missed beats,
+	// repairing routes and acquiring a replacement immediately. 0 (the
+	// default) disables detection — crashes are then noticed only at epoch
+	// boundaries, and every pre-existing experiment stays bit-identical.
+	Heartbeat time.Duration
+	// LeaseMisses is how many beats may be missed before a backend is
+	// declared dead (default 3).
+	LeaseMisses int
+	// RetryFailures enables the frontend's deadline-checked retry-once path
+	// for dispatches that hit a dead backend or a reconfiguration race.
+	RetryFailures bool
+	// MaxQueue bounds each backend unit's queue; 0 = unbounded.
+	MaxQueue int
+	// SessionTimelines records per-session good/bad completion series
+	// (per-second), read back via SessionTimeline.
+	SessionTimelines bool
+	// OnFailure, when set, observes every backend declared dead by the
+	// control plane.
+	OnFailure func(backendID string, at time.Duration)
 }
 
 // Deployment is a running simulated cluster.
@@ -134,6 +154,11 @@ type Deployment struct {
 	// unroutable counts requests dropped because no route or unit existed
 	// when they arrived (admission-control drops at the frontend).
 	unroutable uint64
+
+	// Per-session good/bad completion timelines (nil unless
+	// Config.SessionTimelines).
+	sessGood map[string]*metrics.TimeSeries
+	sessBad  map[string]*metrics.TimeSeries
 
 	// tracer records request lifecycle events when enabled (nil = off).
 	tracer *trace.Tracer
@@ -201,6 +226,10 @@ func New(cfg Config) (*Deployment, error) {
 	if cfg.TraceCapacity > 0 {
 		d.tracer = trace.New(cfg.TraceCapacity)
 	}
+	if cfg.SessionTimelines {
+		d.sessGood = make(map[string]*metrics.TimeSeries)
+		d.sessBad = make(map[string]*metrics.TimeSeries)
+	}
 	if err := d.rebuildProfiles(); err != nil {
 		return nil, err
 	}
@@ -215,16 +244,22 @@ func New(cfg Config) (*Deployment, error) {
 			}
 		}
 	}
+	beCfg.MaxQueue = cfg.MaxQueue
 	d.Pool = NewPool(d.Clock, cfg.GPUs, cfg.GPU, devMode, beCfg, d.onRequestDone)
 	nFE := cfg.Frontends
 	if nFE < 1 {
 		nFE = 1
 	}
 	for i := 0; i < nFE; i++ {
-		fe := frontend.New(d.Clock, d.Pool.backends, cfg.NetDelay, func(req workload.Request) {
-			d.unroutable++
-			d.onRequestDone(req, true, d.Clock.Now())
+		fe := frontend.New(d.Clock, d.Pool.backends, cfg.NetDelay, func(req workload.Request, reason backend.Outcome) {
+			if reason == backend.DropUnroutable {
+				d.unroutable++
+			}
+			d.onRequestDone(req, reason, d.Clock.Now())
 		})
+		if cfg.RetryFailures {
+			fe.EnableRetry()
+		}
 		d.Frontends = append(d.Frontends, fe)
 	}
 	d.Frontend = d.Frontends[0]
@@ -352,6 +387,10 @@ func (d *Deployment) controlConfig() globalsched.Config {
 		cfg.Squishy = false
 		cfg.ObliviousGPUs = d.cfg.GPUs
 	}
+	// Failure detection is orthogonal to the system kind.
+	cfg.Heartbeat = d.cfg.Heartbeat
+	cfg.LeaseMisses = d.cfg.LeaseMisses
+	cfg.OnFailure = d.cfg.OnFailure
 	return cfg
 }
 
@@ -464,11 +503,11 @@ func (d *Deployment) totals() (sent, bad uint64) {
 		}
 		s := d.Recorder.Session(sid)
 		sent += s.Sent
-		bad += s.Dropped + s.Missed
+		bad += s.Bad()
 	}
 	for _, qs := range d.queryStats {
 		sent += qs.Sent
-		bad += qs.Dropped + qs.Missed
+		bad += qs.Bad()
 	}
 	return sent, bad
 }
@@ -520,26 +559,27 @@ func (d *Deployment) dispatchStandalone(r workload.Request) {
 }
 
 // onRequestDone is the single completion sink for all backends and the
-// frontend's unroutable path.
-func (d *Deployment) onRequestDone(req workload.Request, dropped bool, at time.Duration) {
+// frontend's drop path.
+func (d *Deployment) onRequestDone(req workload.Request, outcome backend.Outcome, at time.Duration) {
 	if _, skip := d.ignored[req.ID]; skip {
 		delete(d.ignored, req.ID)
 		return
 	}
 	if qi, ok := d.queryTrack[req.ID]; ok {
 		delete(d.queryTrack, req.ID)
-		d.stageDone(qi, req, dropped, at)
+		d.stageDone(qi, req, outcome, at)
 		return
 	}
 	s := d.Recorder.Session(req.Session)
-	if dropped {
-		d.tracer.Record(trace.Event{At: at, Kind: trace.Drop, ReqID: req.ID, Session: req.Session, Detail: "deadline"})
+	if outcome.Bad() {
+		d.tracer.Record(trace.Event{At: at, Kind: trace.Drop, ReqID: req.ID, Session: req.Session, Detail: outcome.String()})
 	} else {
 		d.tracer.Record(trace.Event{At: at, Kind: trace.Complete, ReqID: req.ID, Session: req.Session})
 	}
+	bad := true
 	switch {
-	case dropped:
-		s.Dropped++
+	case outcome.Bad():
+		d.countLoss(s, outcome)
 		d.BadEvts.Add(at, 1)
 	case at > req.Deadline:
 		s.Missed++
@@ -550,5 +590,50 @@ func (d *Deployment) onRequestDone(req workload.Request, dropped bool, at time.D
 		s.Completed++
 		s.Latency.Record(at - req.Arrival)
 		d.GoodEvts.Add(at, 1)
+		bad = false
 	}
+	d.markTimeline(req.Session, bad, at)
+}
+
+// countLoss increments the loss counter matching the outcome.
+func (d *Deployment) countLoss(s *metrics.SessionStats, outcome backend.Outcome) {
+	switch outcome {
+	case backend.DropDeadline:
+		s.Dropped++
+	case backend.DropUnroutable:
+		s.Unroutable++
+	case backend.DropReconfig:
+		s.Reconfig++
+	case backend.DropOverload:
+		s.Overload++
+	case backend.DropFailure:
+		s.Failed++
+	default:
+		s.Dropped++
+	}
+}
+
+// markTimeline records one completion on the session's good/bad series
+// (no-op unless Config.SessionTimelines).
+func (d *Deployment) markTimeline(session string, bad bool, at time.Duration) {
+	if d.sessGood == nil {
+		return
+	}
+	m := d.sessGood
+	if bad {
+		m = d.sessBad
+	}
+	ts, ok := m[session]
+	if !ok {
+		ts = metrics.NewTimeSeries(time.Second)
+		m[session] = ts
+	}
+	ts.Add(at, 1)
+}
+
+// SessionTimeline returns a session's per-second good/bad completion
+// series (nil unless Config.SessionTimelines; a series is nil until the
+// session sees a completion of that kind).
+func (d *Deployment) SessionTimeline(session string) (good, bad *metrics.TimeSeries) {
+	return d.sessGood[session], d.sessBad[session]
 }

@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"sort"
+	"time"
+)
+
+// This file is the deployment's fault-injection surface: the methods the
+// faults.Injector drives to crash, restart, and degrade a running cluster.
+// All of them execute on the simulation clock's thread (fault events are
+// scheduled clock callbacks), so no synchronization is needed.
+
+// BackendIDs returns the IDs of the backends currently in use, sorted, so
+// seeded random target selection is deterministic.
+func (d *Deployment) BackendIDs() []string {
+	ids := make([]string, 0, len(d.Pool.backends))
+	for id := range d.Pool.backends {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// CrashBackend crashes a backend: queued and in-flight requests are lost
+// as failures and the node serves nothing until restarted. Returns false
+// when the ID is not an in-use, live backend.
+func (d *Deployment) CrashBackend(id string) bool {
+	be := d.Pool.Get(id)
+	if be == nil || !be.Alive() {
+		return false
+	}
+	be.Fail()
+	return true
+}
+
+// RestartBackend revives a crashed backend (transient-failure model): it
+// rejoins empty, either in place (crash not yet detected) or via the
+// pool's free list (crash detected and parked). Returns false when the ID
+// is unknown or the backend is not dead.
+func (d *Deployment) RestartBackend(id string) bool {
+	return d.Pool.Restart(id)
+}
+
+// SlowBackend makes a backend's GPU a straggler: work submitted from now
+// on takes factor times as long (factor ≤ 1 restores nominal speed).
+// Returns false when the ID is not an in-use backend.
+func (d *Deployment) SlowBackend(id string, factor float64) bool {
+	be := d.Pool.Get(id)
+	if be == nil {
+		return false
+	}
+	be.Device().SetSlowdown(factor)
+	return true
+}
+
+// SetExtraNetDelay injects a network-delay spike on every frontend
+// dispatch hop; d ≤ 0 clears it.
+func (d *Deployment) SetExtraNetDelay(delay time.Duration) {
+	for _, fe := range d.Frontends {
+		fe.SetExtraDelay(delay)
+	}
+}
+
+// Failures returns how many backends the control plane has declared dead.
+func (d *Deployment) Failures() int { return d.Sched.Failures() }

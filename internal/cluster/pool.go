@@ -24,6 +24,9 @@ type Pool struct {
 	next     int
 	backends map[string]*backend.Backend // in use; shared with the frontend
 	free     []*backend.Backend
+	// down parks crashed backends: not grantable until Restart revives
+	// them, so Capacity shrinks while they are dead.
+	down []*backend.Backend
 }
 
 // NewPool creates a pool of up to capacity GPUs of the given type.
@@ -44,8 +47,10 @@ func (p *Pool) Acquire() (string, *backend.Backend, error) {
 		p.backends[be.ID] = be
 		return be.ID, be, nil
 	}
-	if len(p.backends) >= p.capacity {
-		return "", nil, fmt.Errorf("cluster: pool exhausted (%d/%d GPUs in use)", len(p.backends), p.capacity)
+	// Dead parked nodes still occupy their physical slot: a crashed GPU's
+	// capacity is gone until Restart revives it, never re-granted fresh.
+	if len(p.backends)+len(p.down) >= p.capacity {
+		return "", nil, fmt.Errorf("cluster: pool exhausted (%d/%d GPUs grantable)", len(p.backends), p.Capacity())
 	}
 	id := fmt.Sprintf("be%d", p.next)
 	p.next++
@@ -55,12 +60,47 @@ func (p *Pool) Acquire() (string, *backend.Backend, error) {
 	return id, be, nil
 }
 
-// Release implements globalsched.Pool.
+// Release implements globalsched.Pool. A live backend is drained and
+// cleared (queues, resident models, duty-cycle state) before rejoining the
+// free list, so a recycled GPU never serves a prior tenant's requests. A
+// dead backend is parked instead: it is not grantable capacity until
+// Restart revives it.
 func (p *Pool) Release(id string) {
-	if be, ok := p.backends[id]; ok {
-		delete(p.backends, id)
-		p.free = append(p.free, be)
+	be, ok := p.backends[id]
+	if !ok {
+		return
 	}
+	delete(p.backends, id)
+	be.StopHeartbeat()
+	if !be.Alive() {
+		p.down = append(p.down, be)
+		return
+	}
+	be.Reset()
+	p.free = append(p.free, be)
+}
+
+// Restart revives a crashed backend. A node still assigned restarts in
+// place — empty, to be reconfigured by the control plane; a node that was
+// detected and parked rejoins the free list as grantable capacity. Returns
+// false if the ID is unknown or the backend is not dead.
+func (p *Pool) Restart(id string) bool {
+	if be, ok := p.backends[id]; ok {
+		if be.Alive() {
+			return false
+		}
+		be.Restart()
+		return true
+	}
+	for i, be := range p.down {
+		if be.ID == id {
+			p.down = append(p.down[:i], p.down[i+1:]...)
+			be.Restart()
+			p.free = append(p.free, be)
+			return true
+		}
+	}
+	return false
 }
 
 // Get implements globalsched.Pool.
@@ -69,8 +109,9 @@ func (p *Pool) Get(id string) *backend.Backend { return p.backends[id] }
 // InUse implements globalsched.Pool.
 func (p *Pool) InUse() int { return len(p.backends) }
 
-// Capacity returns the pool's GPU capacity.
-func (p *Pool) Capacity() int { return p.capacity }
+// Capacity returns the pool's grantable GPU capacity — the configured size
+// minus nodes currently dead, so the packer never plans onto a crashed GPU.
+func (p *Pool) Capacity() int { return p.capacity - len(p.down) }
 
 // TotalBusy sums busy time across in-use backends.
 func (p *Pool) TotalBusy() (busy int64) {

@@ -3,6 +3,7 @@ package cluster
 import (
 	"time"
 
+	"nexus/internal/backend"
 	"nexus/internal/globalsched"
 	"nexus/internal/trace"
 	"nexus/internal/workload"
@@ -47,10 +48,11 @@ func (d *Deployment) dispatchStage(qi *queryInstance, session string) {
 }
 
 // stageDone handles completion of one stage invocation.
-func (d *Deployment) stageDone(qi *queryInstance, req workload.Request, dropped bool, at time.Duration) {
+func (d *Deployment) stageDone(qi *queryInstance, req workload.Request, outcome backend.Outcome, at time.Duration) {
 	qi.outstanding--
-	if dropped {
-		d.tracer.Record(trace.Event{At: at, Kind: trace.Drop, ReqID: req.ID, Session: req.Session, Detail: "deadline"})
+	lost := outcome.Bad()
+	if lost {
+		d.tracer.Record(trace.Event{At: at, Kind: trace.Drop, ReqID: req.ID, Session: req.Session, Detail: outcome.String()})
 	} else {
 		d.tracer.Record(trace.Event{At: at, Kind: trace.Complete, ReqID: req.ID, Session: req.Session})
 	}
@@ -59,8 +61,8 @@ func (d *Deployment) stageDone(qi *queryInstance, req workload.Request, dropped 
 		s := d.Recorder.Session(req.Session)
 		s.Sent++
 		switch {
-		case dropped:
-			s.Dropped++
+		case lost:
+			d.countLoss(s, outcome)
 		case at > req.Deadline:
 			s.Missed++
 			s.Completed++
@@ -70,7 +72,7 @@ func (d *Deployment) stageDone(qi *queryInstance, req workload.Request, dropped 
 			s.Latency.Record(at - req.Arrival)
 		}
 	}
-	if dropped {
+	if lost {
 		qi.bad = true
 	} else {
 		// Fan out to children; gamma is fractional, accumulated per stage

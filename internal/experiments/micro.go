@@ -221,9 +221,9 @@ func dropPolicyBadRateTarget(rc *RunContext, policy backend.DropPolicy, p *profi
 	dev := gpusim.New(clock, "g", profiler.GTX1080Ti, gpusim.Exclusive)
 	var good, miss, drop int
 	be := backend.New("b", clock, dev, backend.Config{Policy: policy, Overlap: true},
-		func(r backend.Request, dropped bool, at time.Duration) {
+		func(r backend.Request, outcome backend.Outcome, at time.Duration) {
 			switch {
-			case dropped:
+			case outcome.Bad():
 				drop++
 			case at > r.Deadline:
 				miss++

@@ -37,8 +37,9 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 	// A representative slice of the registry: plain sweeps (fig5), k-probe
 	// goodput searches (fig9, abl-window), concurrent deployments
-	// (abl-defer), and the packing fan-out (ext-hetero).
-	ids := []string{"fig5", "fig9", "abl-window", "abl-defer", "ext-hetero"}
+	// (abl-defer), the packing fan-out (ext-hetero), and the seeded
+	// fault-injection sweep (chaos).
+	ids := []string{"fig5", "fig9", "abl-window", "abl-defer", "ext-hetero", "chaos"}
 
 	runAll := func(workers int) (map[string]string, map[string]uint64) {
 		prev := runner.SetDefaultWorkers(workers)

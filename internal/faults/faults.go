@@ -1,0 +1,208 @@
+// Package faults is a deterministic, seeded fault-injection engine for a
+// simulated Nexus cluster. A Script of timed fault events — permanent
+// crashes, transient crashes with restart, straggler slowdowns, and
+// network-delay spikes — is scheduled against a running deployment on the
+// simulation clock, so a chaos experiment is exactly as reproducible as a
+// fault-free one: same seed, same script, same event sequence, byte-equal
+// results at any test parallelism.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"nexus/internal/simclock"
+)
+
+// Kind is the fault type of one event.
+type Kind int
+
+const (
+	// Crash kills a backend. Duration 0 is a permanent crash; Duration > 0
+	// restarts the node that much later (transient failure).
+	Crash Kind = iota
+	// Straggler multiplies a backend GPU's execution time by Factor for
+	// Duration (0 = until the end of the run).
+	Straggler
+	// NetDelay adds Delay to every frontend dispatch hop for Duration
+	// (0 = until the end of the run).
+	NetDelay
+)
+
+// String names the kind for logs and tables.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Straggler:
+		return "straggler"
+	case NetDelay:
+		return "netdelay"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one scripted fault.
+type Event struct {
+	// At is when the fault fires, in virtual time from the start of the
+	// run (including warmup).
+	At   time.Duration
+	Kind Kind
+	// Backend targets a specific backend ID; empty picks one of the
+	// backends in use at fire time, via the injector's seeded RNG.
+	// Ignored by NetDelay.
+	Backend string
+	// Duration bounds the fault (see each Kind); 0 = permanent.
+	Duration time.Duration
+	// Factor is the Straggler slowdown multiplier (e.g. 4 = 4x slower).
+	Factor float64
+	// Delay is the NetDelay spike added per dispatch hop.
+	Delay time.Duration
+}
+
+// Script is a set of fault events.
+type Script []Event
+
+// Validate rejects malformed scripts before anything is scheduled.
+func (s Script) Validate() error {
+	for i, e := range s {
+		if e.At < 0 {
+			return fmt.Errorf("faults: event %d fires at negative time %v", i, e.At)
+		}
+		if e.Duration < 0 {
+			return fmt.Errorf("faults: event %d has negative duration %v", i, e.Duration)
+		}
+		switch e.Kind {
+		case Crash:
+		case Straggler:
+			if e.Factor <= 1 {
+				return fmt.Errorf("faults: straggler event %d needs factor > 1, got %v", i, e.Factor)
+			}
+		case NetDelay:
+			if e.Delay <= 0 {
+				return fmt.Errorf("faults: netdelay event %d needs a positive delay, got %v", i, e.Delay)
+			}
+		default:
+			return fmt.Errorf("faults: event %d has unknown kind %d", i, int(e.Kind))
+		}
+	}
+	return nil
+}
+
+// Target is the fault surface of a running deployment
+// (cluster.Deployment implements it).
+type Target interface {
+	// BackendIDs returns the in-use backend IDs, sorted.
+	BackendIDs() []string
+	// CrashBackend kills a live backend; false if it is unknown or dead.
+	CrashBackend(id string) bool
+	// RestartBackend revives a dead backend; false if unknown or alive.
+	RestartBackend(id string) bool
+	// SlowBackend sets a backend GPU's slowdown factor (≤1 clears it).
+	SlowBackend(id string, factor float64) bool
+	// SetExtraNetDelay adds d to every dispatch hop (≤0 clears it).
+	SetExtraNetDelay(d time.Duration)
+}
+
+// Injection records one fired fault for the experiment log.
+type Injection struct {
+	At      time.Duration
+	Kind    Kind
+	Backend string // resolved target ("" for NetDelay)
+	Applied bool   // false when the target no longer existed
+}
+
+// Injector schedules fault scripts against a target on the sim clock.
+type Injector struct {
+	clock  *simclock.Clock
+	target Target
+	rng    *rand.Rand
+	log    []Injection
+	// netUntil tracks the furthest end of any active NetDelay window, so
+	// overlapping spikes do not clear each other early.
+	netUntil time.Duration
+}
+
+// New creates an injector. The seed drives random target selection only;
+// scripts with explicit backend IDs are seed-independent.
+func New(clock *simclock.Clock, target Target, seed int64) *Injector {
+	return &Injector{clock: clock, target: target, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Schedule validates a script and arms every event on the clock. Call
+// before (or during) the run; events in the past of the clock fire on the
+// next clock step.
+func (in *Injector) Schedule(script Script) error {
+	if err := in.Validate(script); err != nil {
+		return err
+	}
+	for _, e := range script {
+		e := e
+		in.clock.At(e.At, func() { in.fire(e) })
+	}
+	return nil
+}
+
+// Validate is Script.Validate, exposed on the injector for symmetry.
+func (in *Injector) Validate(script Script) error { return script.Validate() }
+
+// Log returns the injections fired so far, in firing order.
+func (in *Injector) Log() []Injection {
+	return append([]Injection(nil), in.log...)
+}
+
+// fire applies one event at its scheduled time.
+func (in *Injector) fire(e Event) {
+	now := in.clock.Now()
+	switch e.Kind {
+	case Crash:
+		id, ok := in.resolve(e.Backend)
+		applied := ok && in.target.CrashBackend(id)
+		in.log = append(in.log, Injection{At: now, Kind: e.Kind, Backend: id, Applied: applied})
+		if applied && e.Duration > 0 {
+			in.clock.At(now+e.Duration, func() {
+				in.target.RestartBackend(id)
+			})
+		}
+	case Straggler:
+		id, ok := in.resolve(e.Backend)
+		applied := ok && in.target.SlowBackend(id, e.Factor)
+		in.log = append(in.log, Injection{At: now, Kind: e.Kind, Backend: id, Applied: applied})
+		if applied && e.Duration > 0 {
+			in.clock.At(now+e.Duration, func() {
+				in.target.SlowBackend(id, 1)
+			})
+		}
+	case NetDelay:
+		in.target.SetExtraNetDelay(e.Delay)
+		in.log = append(in.log, Injection{At: now, Kind: e.Kind, Applied: true})
+		if e.Duration > 0 {
+			until := now + e.Duration
+			if until > in.netUntil {
+				in.netUntil = until
+			}
+			in.clock.At(until, func() {
+				if in.clock.Now() >= in.netUntil {
+					in.target.SetExtraNetDelay(0)
+				}
+			})
+		}
+	}
+}
+
+// resolve turns an event's backend field into a concrete target: the named
+// backend, or a seeded-random pick over the sorted in-use set.
+func (in *Injector) resolve(explicit string) (string, bool) {
+	if explicit != "" {
+		return explicit, true
+	}
+	ids := in.target.BackendIDs()
+	if len(ids) == 0 {
+		return "", false
+	}
+	sort.Strings(ids) // defensive: determinism must not rely on the target
+	return ids[in.rng.Intn(len(ids))], true
+}

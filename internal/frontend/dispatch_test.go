@@ -28,21 +28,22 @@ func TestDispatchAfterTableSwap(t *testing.T) {
 	}
 }
 
-func TestDispatchToRemovedUnitCountsUnroutable(t *testing.T) {
-	clock, backends, fe, unroutable := setup(t, 1)
+func TestDispatchToRemovedUnitCountsReconfigDrop(t *testing.T) {
+	clock, backends, fe, dropped := setup(t, 1)
 	if err := fe.SetTable(RoutingTable{"s": {{BackendID: "a", UnitID: "u", Weight: 1}}}); err != nil {
 		t.Fatal(err)
 	}
 	clock.RunUntil(time.Second)
 	// Remove the unit between routing and enqueue: the in-flight dispatch
-	// must surface as an admission drop rather than vanish.
+	// must surface as a reconfiguration drop rather than vanish. (With no
+	// surviving replica, even the retry path has nowhere to send it.)
 	if err := backends["a"].Configure(nil); err != nil {
 		t.Fatal(err)
 	}
 	fe.Dispatch(workload.Request{ID: 1, Session: "s", Arrival: clock.Now(), Deadline: clock.Now() + time.Hour})
 	clock.Run()
-	if *unroutable != 1 {
-		t.Fatalf("unroutable = %d, want 1", *unroutable)
+	if *dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", *dropped)
 	}
 }
 

@@ -6,7 +6,9 @@
 package frontend
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -25,14 +27,16 @@ type Route struct {
 // RoutingTable maps session IDs to their routes.
 type RoutingTable map[string][]Route
 
-// Validate checks weights.
+// Validate checks weights: every route must carry a positive, finite
+// weight (NaN and ±Inf would silently corrupt the smooth-WRR accumulator)
+// and name both a backend and a unit.
 func (rt RoutingTable) Validate() error {
 	for sid, routes := range rt {
 		if len(routes) == 0 {
 			return fmt.Errorf("frontend: session %s has no routes", sid)
 		}
 		for _, r := range routes {
-			if r.Weight <= 0 {
+			if math.IsNaN(r.Weight) || math.IsInf(r.Weight, 0) || r.Weight <= 0 {
 				return fmt.Errorf("frontend: session %s route to %s has weight %v", sid, r.BackendID, r.Weight)
 			}
 			if r.BackendID == "" || r.UnitID == "" {
@@ -43,17 +47,27 @@ func (rt RoutingTable) Validate() error {
 	return nil
 }
 
+// DropFunc observes every request the frontend loses, with the reason:
+// DropUnroutable (no route for the session), DropOverload (target queue
+// full), DropReconfig (unit vanished in a reconfiguration race, retry
+// exhausted) or DropFailure (target backend dead, retry exhausted).
+type DropFunc func(req workload.Request, reason backend.Outcome)
+
 // Frontend dispatches requests to backends.
 type Frontend struct {
 	clock    *simclock.Clock
 	backends map[string]*backend.Backend
 	netDelay time.Duration
+	// extraDelay models an injected network-delay spike on every hop.
+	extraDelay time.Duration
+	// retry enables the deadline-checked retry-once path on dead targets.
+	retry bool
 
 	table RoutingTable
 	wrr   map[string][]float64 // smooth weighted round-robin state per session
 
-	// onUnroutable observes requests with no route (counted as drops).
-	onUnroutable func(req workload.Request)
+	// onDrop observes requests the frontend loses, with the reason.
+	onDrop DropFunc
 
 	// Rate observation for the control plane.
 	counts     map[string]uint64
@@ -66,23 +80,37 @@ const DefaultNetDelay = 500 * time.Microsecond
 // New creates a frontend over the given backends. netDelay < 0 uses the
 // default; 0 is allowed (ideal network).
 func New(clock *simclock.Clock, backends map[string]*backend.Backend, netDelay time.Duration,
-	onUnroutable func(req workload.Request)) *Frontend {
+	onDrop DropFunc) *Frontend {
 	if netDelay < 0 {
 		netDelay = DefaultNetDelay
 	}
 	return &Frontend{
-		clock:        clock,
-		backends:     backends,
-		netDelay:     netDelay,
-		table:        RoutingTable{},
-		wrr:          make(map[string][]float64),
-		onUnroutable: onUnroutable,
-		counts:       make(map[string]uint64),
+		clock:    clock,
+		backends: backends,
+		netDelay: netDelay,
+		table:    RoutingTable{},
+		wrr:      make(map[string][]float64),
+		onDrop:   onDrop,
+		counts:   make(map[string]uint64),
 	}
 }
 
 // NetDelay returns the configured one-way dispatch latency.
 func (f *Frontend) NetDelay() time.Duration { return f.netDelay }
+
+// EnableRetry turns on the retry-once path: a dispatch that fails because
+// its target crashed or lost the unit is re-sent to a surviving replica,
+// provided the request's deadline still has room for another network hop.
+func (f *Frontend) EnableRetry() { f.retry = true }
+
+// SetExtraDelay injects a network-delay spike of d on top of the base
+// dispatch latency for every subsequent hop; d ≤ 0 clears it.
+func (f *Frontend) SetExtraDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	f.extraDelay = d
+}
 
 // SetTable installs a new routing table (control plane push, §5).
 func (f *Frontend) SetTable(rt RoutingTable) error {
@@ -106,24 +134,110 @@ func (f *Frontend) SetTable(rt RoutingTable) error {
 func (f *Frontend) Dispatch(req workload.Request) {
 	routes, ok := f.table[req.Session]
 	if !ok || len(routes) == 0 {
-		if f.onUnroutable != nil {
-			f.onUnroutable(req)
-		}
+		f.drop(req, backend.DropUnroutable)
 		return
 	}
 	f.counts[req.Session]++
-	r := f.pick(req.Session, routes)
+	f.send(req, f.pick(req.Session, routes), true)
+}
+
+// send delivers req to route r after the network delay, classifying any
+// enqueue failure. When the target is dead or lost the unit mid-flight and
+// retries are enabled, a first-try request is re-sent once to a surviving
+// replica — but only if its deadline still has room for another hop.
+func (f *Frontend) send(req workload.Request, r Route, firstTry bool) {
 	be := f.backends[r.BackendID]
-	unitID := r.UnitID
-	f.clock.After(f.netDelay, func() {
-		if err := be.Enqueue(unitID, req); err != nil {
-			// The unit was removed by a reconfiguration in flight; count
-			// the request as unroutable.
-			if f.onUnroutable != nil {
-				f.onUnroutable(req)
+	f.clock.After(f.netDelay+f.extraDelay, func() {
+		var err error
+		if be == nil {
+			err = backend.ErrBackendDown
+		} else {
+			err = be.Enqueue(r.UnitID, req)
+		}
+		switch {
+		case err == nil:
+		case errors.Is(err, backend.ErrQueueFull):
+			// Overload is the drop policy's job, not the retry path's:
+			// bouncing the request to another replica would just smear the
+			// hotspot.
+			f.drop(req, backend.DropOverload)
+		default:
+			reason := backend.DropFailure
+			if errors.Is(err, backend.ErrUnitRemoved) {
+				reason = backend.DropReconfig
 			}
+			if f.retry && firstTry {
+				if alt, ok := f.altRoute(req.Session, r.BackendID); ok &&
+					req.Deadline-f.clock.Now() > f.netDelay+f.extraDelay {
+					f.send(req, alt, false)
+					return
+				}
+			}
+			f.drop(req, reason)
 		}
 	})
+}
+
+// altRoute returns the session's first route to a live backend other than
+// the one that just failed.
+func (f *Frontend) altRoute(session, exclude string) (Route, bool) {
+	for _, r := range f.table[session] {
+		if r.BackendID == exclude {
+			continue
+		}
+		if be := f.backends[r.BackendID]; be != nil && be.Alive() {
+			return r, true
+		}
+	}
+	return Route{}, false
+}
+
+func (f *Frontend) drop(req workload.Request, reason backend.Outcome) {
+	if f.onDrop != nil {
+		f.onDrop(req, reason)
+	}
+}
+
+// RemoveBackend repairs the routing table after a backend is declared
+// dead: every route to it is deleted. The table object may be shared with
+// other frontend replicas (each receives its own repair call), so the
+// repair is copy-on-write. Smooth-WRR weights are proportional, which
+// redistributes the dead replica's share across the survivors of each
+// session automatically; the session's WRR accumulator is reset so stale
+// credit cannot skew the new split. Sessions whose last replica died
+// become unroutable until the control plane re-plans. Returns the number
+// of sessions whose routes changed.
+func (f *Frontend) RemoveBackend(beID string) int {
+	affected := 0
+	var repaired RoutingTable
+	for sid, routes := range f.table {
+		keep := routes[:0:0]
+		for _, r := range routes {
+			if r.BackendID != beID {
+				keep = append(keep, r)
+			}
+		}
+		if len(keep) == len(routes) {
+			continue
+		}
+		if repaired == nil {
+			repaired = make(RoutingTable, len(f.table))
+			for s, rs := range f.table {
+				repaired[s] = rs
+			}
+		}
+		affected++
+		if len(keep) == 0 {
+			delete(repaired, sid)
+		} else {
+			repaired[sid] = keep
+		}
+		delete(f.wrr, sid)
+	}
+	if repaired != nil {
+		f.table = repaired
+	}
+	return affected
 }
 
 // pick implements smooth weighted round-robin, which spreads a session's

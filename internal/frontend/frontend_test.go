@@ -33,9 +33,9 @@ func setup(t *testing.T, nBackends int) (*simclock.Clock, map[string]*backend.Ba
 		}
 		backends[id] = be
 	}
-	unroutable := 0
-	fe := New(clock, backends, 0, func(workload.Request) { unroutable++ })
-	return clock, backends, fe, &unroutable
+	dropped := 0
+	fe := New(clock, backends, 0, func(req workload.Request, reason backend.Outcome) { dropped++ })
+	return clock, backends, fe, &dropped
 }
 
 func TestRoutingTableValidate(t *testing.T) {

@@ -91,6 +91,17 @@ type Config struct {
 	// fixed-size cluster runs at full width. Leave false for elastic
 	// deployments, where GPUs-in-use should track load (Figure 13).
 	SpreadReplicas bool
+	// Heartbeat enables failure detection: every acquired backend emits a
+	// liveness beat at this period and the scheduler declares it dead after
+	// LeaseMisses missed beats, repairing routes and acquiring a
+	// replacement immediately (off-epoch). 0 disables detection — a dead
+	// backend is then noticed only at the epoch boundary.
+	Heartbeat time.Duration
+	// LeaseMisses is how many consecutive beats may be missed before a
+	// backend is declared dead (default 3).
+	LeaseMisses int
+	// OnFailure, when set, observes every declared backend failure.
+	OnFailure func(backendID string, at time.Duration)
 }
 
 // DefaultPlanningSlack covers round-trip dispatch latency plus margin.
@@ -141,6 +152,14 @@ type Scheduler struct {
 	// lastPlannedRates remembers the rates the last batch-oblivious plan
 	// was computed for (stability guard).
 	lastPlannedRates map[string]float64
+
+	// Failure detection state.
+	lastBeat map[string]time.Duration // backend ID -> last heartbeat time
+	monitor  *simclock.Ticker
+	failures int
+	// lastMemberUnit remembers the latest epoch's member session -> unit
+	// mapping so emergency repairs can republish routes between epochs.
+	lastMemberUnit map[string]string
 }
 
 // splitHysteresis is the relative improvement a new latency split must
@@ -166,8 +185,12 @@ func New(clock *simclock.Clock, pool Pool, frontends []*frontend.Frontend,
 		nodeBackend: make(map[string][]string),
 		gammaEst:    make(map[string]float64),
 		prevSplit:   make(map[string]*queryopt.Split),
+		lastBeat:    make(map[string]time.Duration),
 	}
 }
+
+// Failures returns how many backends have been declared dead so far.
+func (s *Scheduler) Failures() int { return s.failures }
 
 // AddSession declares a standalone session.
 func (s *Scheduler) AddSession(spec SessionSpec) error {
@@ -223,27 +246,161 @@ func (s *Scheduler) SessionSLO(id string) (time.Duration, bool) {
 	return slo, ok
 }
 
-// Start schedules RunEpoch every epoch period. The first epoch must be run
-// explicitly (deployments call RunEpoch once before offering traffic).
+// Start schedules RunEpoch every epoch period and, when failure detection
+// is enabled, the lease monitor every heartbeat period. The first epoch
+// must be run explicitly (deployments call RunEpoch once before offering
+// traffic).
 func (s *Scheduler) Start() {
 	s.ticker = s.clock.StartTicker(s.cfg.Epoch, func() {
 		// Epoch failures (e.g. pool exhausted during a burst) leave the
 		// previous plan serving; the next epoch retries.
 		_ = s.RunEpoch()
 	})
+	if s.cfg.Heartbeat > 0 {
+		s.monitor = s.clock.StartTicker(s.cfg.Heartbeat, s.checkLeases)
+	}
 }
 
-// Stop halts epoch scheduling.
+// Stop halts epoch scheduling, lease monitoring, and the backends'
+// heartbeat tickers (otherwise a drain of the event queue after the run
+// would never terminate).
 func (s *Scheduler) Stop() {
 	if s.ticker != nil {
 		s.ticker.Stop()
 	}
+	if s.monitor != nil {
+		s.monitor.Stop()
+	}
+	beIDs := make([]string, 0, len(s.lastBeat))
+	for beID := range s.lastBeat {
+		beIDs = append(beIDs, beID)
+	}
+	sort.Strings(beIDs)
+	for _, beID := range beIDs {
+		if be := s.pool.Get(beID); be != nil {
+			be.StopHeartbeat()
+		}
+	}
+}
+
+func (s *Scheduler) leaseMisses() int {
+	if s.cfg.LeaseMisses > 0 {
+		return s.cfg.LeaseMisses
+	}
+	return 3
+}
+
+// adopt starts liveness monitoring on a newly acquired backend: the beat
+// timestamp is seeded with the acquisition time (a grace period covering
+// model loads) and the backend begins heartbeating into the scheduler.
+func (s *Scheduler) adopt(beID string) {
+	if s.cfg.Heartbeat <= 0 {
+		return
+	}
+	be := s.pool.Get(beID)
+	if be == nil {
+		return
+	}
+	s.lastBeat[beID] = s.clock.Now()
+	be.StartHeartbeat(s.cfg.Heartbeat, s.beat)
+}
+
+func (s *Scheduler) beat(beID string) {
+	s.lastBeat[beID] = s.clock.Now()
+}
+
+// checkLeases runs every heartbeat period: any assigned backend whose last
+// beat is older than the lease (LeaseMisses beats) is declared dead and
+// repaired around immediately, without waiting for the epoch boundary.
+func (s *Scheduler) checkLeases() {
+	lease := time.Duration(s.leaseMisses()) * s.cfg.Heartbeat
+	now := s.clock.Now()
+	nodeIDs := make([]string, 0, len(s.nodeBackend))
+	for nodeID := range s.nodeBackend {
+		nodeIDs = append(nodeIDs, nodeID)
+	}
+	sort.Strings(nodeIDs)
+	for _, nodeID := range nodeIDs {
+		for _, beID := range append([]string(nil), s.nodeBackend[nodeID]...) {
+			last, ok := s.lastBeat[beID]
+			if !ok || now-last <= lease {
+				continue
+			}
+			s.handleFailure(nodeID, beID)
+		}
+	}
+}
+
+// handleFailure is the emergency recovery path for one dead backend:
+// (a) every frontend's routing table is repaired immediately, shifting the
+// dead replica's traffic share onto survivors; (b) a replacement GPU is
+// acquired from the pool, configured with the dead node's plan units, and
+// adopted; (c) repaired routes are republished. Requests already queued or
+// in flight on the dead node were accounted as failures when it crashed.
+func (s *Scheduler) handleFailure(nodeID, beID string) {
+	s.failures++
+	delete(s.lastBeat, beID)
+	beIDs := s.nodeBackend[nodeID]
+	kept := beIDs[:0:0]
+	for _, id := range beIDs {
+		if id != beID {
+			kept = append(kept, id)
+		}
+	}
+	s.nodeBackend[nodeID] = kept
+	s.pool.Release(beID) // parks the dead node outside the free list
+	for _, fe := range s.frontends {
+		fe.RemoveBackend(beID)
+	}
+	if s.prevPlan != nil {
+		if g := s.planNode(nodeID); g != nil {
+			s.replaceReplica(nodeID, g)
+		}
+		_ = s.publishRoutes(s.prevPlan)
+	}
+	if s.cfg.OnFailure != nil {
+		s.cfg.OnFailure(beID, s.clock.Now())
+	}
+}
+
+// planNode returns the current plan's node by ID (nil if gone).
+func (s *Scheduler) planNode(nodeID string) *scheduler.GPUPlan {
+	if s.prevPlan == nil {
+		return nil
+	}
+	for i := range s.prevPlan.GPUs {
+		if s.prevPlan.GPUs[i].ID == nodeID {
+			return &s.prevPlan.GPUs[i]
+		}
+	}
+	return nil
+}
+
+// replaceReplica acquires and configures a replacement backend for a plan
+// node (best effort: an exhausted pool leaves the node to the survivors
+// until the next epoch).
+func (s *Scheduler) replaceReplica(nodeID string, g *scheduler.GPUPlan) {
+	newID, be, err := s.pool.Acquire()
+	if err != nil {
+		return
+	}
+	units, uerr := s.unitsFor(g)
+	if uerr != nil || be.Configure(units) != nil {
+		s.pool.Release(newID)
+		return
+	}
+	s.nodeBackend[nodeID] = append(s.nodeBackend[nodeID], newID)
+	s.adopt(newID)
 }
 
 // RunEpoch performs one control-plane cycle.
 func (s *Scheduler) RunEpoch() error {
 	s.epochs++
 	s.lastStats = scheduler.MoveStats{}
+	// Shed replicas that died since the last epoch before planning, so the
+	// packer sees the shrunken grantable capacity and the assignment loops
+	// below replace the dead nodes.
+	s.sweepDead()
 	s.observeRates()
 	sessions, routingMembers, err := s.buildSessions()
 	if err != nil {
@@ -690,6 +847,88 @@ func (s *Scheduler) packOnce(sessions []scheduler.Session, profiles map[string]*
 	return scheduler.Pack(sessions, profiles, s.cfg.Sched)
 }
 
+// unitsFor builds the backend units for one plan node.
+func (s *Scheduler) unitsFor(g *scheduler.GPUPlan) ([]backend.Unit, error) {
+	var units []backend.Unit
+	for _, a := range g.Allocs {
+		p, err := s.profileOf(a.ModelID)
+		if err != nil {
+			return nil, err
+		}
+		unit := backend.Unit{
+			ID:          a.SessionID,
+			Profile:     p,
+			TargetBatch: a.Batch,
+			Members:     s.groups[a.SessionID],
+		}
+		if parts, ok := s.groupParts[a.SessionID]; ok {
+			unit.Prefix, unit.Suffix = parts[0], parts[1]
+		}
+		units = append(units, unit)
+	}
+	return units, nil
+}
+
+// publishRoutes derives the routing table from the plan and the current
+// node -> backend assignment and pushes it to every frontend. Each unit's
+// traffic splits evenly across its node's replica backends.
+func (s *Scheduler) publishRoutes(plan *scheduler.Plan) error {
+	unitWeights := make(map[string][]frontend.Route)
+	for _, g := range plan.GPUs {
+		beIDs := s.nodeBackend[g.ID]
+		for _, beID := range beIDs {
+			for _, a := range g.Allocs {
+				unitWeights[a.SessionID] = append(unitWeights[a.SessionID], frontend.Route{
+					BackendID: beID, UnitID: a.SessionID,
+					Weight: a.Rate/float64(len(beIDs)) + 1e-9,
+				})
+			}
+		}
+	}
+	table := frontend.RoutingTable{}
+	for member, unit := range s.lastMemberUnit {
+		if routes := unitWeights[unit]; len(routes) > 0 {
+			table[member] = routes
+		}
+	}
+	for _, fe := range s.frontends {
+		if err := fe.SetTable(table); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepDead drops dead replicas from the node assignment and parks them in
+// the pool. With heartbeats enabled the lease monitor normally does this
+// first; without them, the epoch boundary is where a deployment notices
+// its crashed backends — epoch-granularity recovery, the baseline the
+// chaos experiments compare against.
+func (s *Scheduler) sweepDead() {
+	nodeIDs := make([]string, 0, len(s.nodeBackend))
+	for nodeID := range s.nodeBackend {
+		nodeIDs = append(nodeIDs, nodeID)
+	}
+	sort.Strings(nodeIDs)
+	for _, nodeID := range nodeIDs {
+		beIDs := s.nodeBackend[nodeID]
+		kept := beIDs[:0:0]
+		for _, beID := range beIDs {
+			be := s.pool.Get(beID)
+			if be != nil && be.Alive() {
+				kept = append(kept, beID)
+				continue
+			}
+			delete(s.lastBeat, beID)
+			s.pool.Release(beID)
+			for _, fe := range s.frontends {
+				fe.RemoveBackend(beID)
+			}
+		}
+		s.nodeBackend[nodeID] = kept
+	}
+}
+
 // apply maps plan nodes onto pool backends, configures them, and publishes
 // the routing table.
 func (s *Scheduler) apply(plan *scheduler.Plan, memberUnit map[string]string) error {
@@ -729,6 +968,7 @@ func (s *Scheduler) apply(plan *scheduler.Plan, memberUnit map[string]string) er
 			return fmt.Errorf("globalsched: acquiring backend for node %s: %w", g.ID, err)
 		}
 		newMapping[g.ID] = []string{beID}
+		s.adopt(beID)
 	}
 	for _, g := range plan.GPUs {
 		for len(newMapping[g.ID]) < replicas[g.ID] {
@@ -737,43 +977,36 @@ func (s *Scheduler) apply(plan *scheduler.Plan, memberUnit map[string]string) er
 				break // spares ran out; serve with fewer replicas
 			}
 			newMapping[g.ID] = append(newMapping[g.ID], beID)
+			s.adopt(beID)
 		}
 	}
-	// Release backends whose nodes vanished.
-	for nodeID, beIDs := range s.nodeBackend {
+	// Release backends whose nodes vanished (sorted for a deterministic
+	// free-list order).
+	var vanished []string
+	for nodeID := range s.nodeBackend {
 		if _, ok := newMapping[nodeID]; !ok {
-			for _, beID := range beIDs {
-				if be := s.pool.Get(beID); be != nil {
-					_ = be.Configure(nil)
-				}
-				s.pool.Release(beID)
+			vanished = append(vanished, nodeID)
+		}
+	}
+	sort.Strings(vanished)
+	for _, nodeID := range vanished {
+		for _, beID := range s.nodeBackend[nodeID] {
+			if be := s.pool.Get(beID); be != nil {
+				_ = be.Configure(nil)
 			}
+			delete(s.lastBeat, beID)
+			s.pool.Release(beID)
 		}
 	}
 	s.nodeBackend = newMapping
 
 	// Configure every replica backend with its node's units.
-	unitWeights := make(map[string][]frontend.Route) // unit ID -> routes
 	for _, g := range plan.GPUs {
-		beIDs := newMapping[g.ID]
-		var units []backend.Unit
-		for _, a := range g.Allocs {
-			p, err := s.profileOf(a.ModelID)
-			if err != nil {
-				return err
-			}
-			unit := backend.Unit{
-				ID:          a.SessionID,
-				Profile:     p,
-				TargetBatch: a.Batch,
-				Members:     s.groups[a.SessionID],
-			}
-			if parts, ok := s.groupParts[a.SessionID]; ok {
-				unit.Prefix, unit.Suffix = parts[0], parts[1]
-			}
-			units = append(units, unit)
+		units, err := s.unitsFor(&g)
+		if err != nil {
+			return err
 		}
-		for _, beID := range beIDs {
+		for _, beID := range newMapping[g.ID] {
 			be := s.pool.Get(beID)
 			if be == nil {
 				return fmt.Errorf("globalsched: pool lost backend %s", beID)
@@ -781,28 +1014,12 @@ func (s *Scheduler) apply(plan *scheduler.Plan, memberUnit map[string]string) er
 			if err := be.Configure(units); err != nil {
 				return err
 			}
-			for _, a := range g.Allocs {
-				unitWeights[a.SessionID] = append(unitWeights[a.SessionID], frontend.Route{
-					BackendID: beID, UnitID: a.SessionID,
-					Weight: a.Rate/float64(len(beIDs)) + 1e-9,
-				})
-			}
 		}
 	}
 
 	// Routing: each user-facing session routes to its unit's replicas.
-	table := frontend.RoutingTable{}
-	for member, unit := range memberUnit {
-		if routes := unitWeights[unit]; len(routes) > 0 {
-			table[member] = routes
-		}
-	}
-	for _, fe := range s.frontends {
-		if err := fe.SetTable(table); err != nil {
-			return err
-		}
-	}
-	return nil
+	s.lastMemberUnit = memberUnit
+	return s.publishRoutes(plan)
 }
 
 // replicaCounts spreads spare pool capacity across plan nodes, most loaded

@@ -75,9 +75,9 @@ type env struct {
 func newEnv(t *testing.T, cfg Config, poolSize int) *env {
 	t.Helper()
 	e := &env{clock: simclock.New()}
-	onDone := func(req backend.Request, dropped bool, at time.Duration) {
+	onDone := func(req backend.Request, outcome backend.Outcome, at time.Duration) {
 		switch {
-		case dropped:
+		case outcome.Bad():
 			e.dropped++
 		case at > req.Deadline:
 			e.missed++
@@ -102,7 +102,8 @@ func newEnv(t *testing.T, cfg Config, poolSize int) *env {
 	}
 	// Backends map is filled lazily by the pool; the frontend needs a live
 	// view, so share the pool's inUse map.
-	e.fe = frontend.New(e.clock, poolBackends(e.pool), 0, func(req workload.Request) { e.dropped++ })
+	e.fe = frontend.New(e.clock, poolBackends(e.pool), 0,
+		func(req workload.Request, reason backend.Outcome) { e.dropped++ })
 	e.sched = New(e.clock, e.pool, []*frontend.Frontend{e.fe}, e.mdb, profiles, cfg)
 	return e
 }

@@ -84,6 +84,10 @@ type Device struct {
 	jobSeq uint64
 	// freeJobs recycles job structs through the submit/complete hot path.
 	freeJobs []*job
+
+	// slow stretches the execution time of newly submitted work (straggler
+	// injection): effective work = work * slow. Always ≥ the neutral 1.
+	slow float64
 }
 
 type job struct {
@@ -107,6 +111,7 @@ func New(clock *simclock.Clock, id string, gpu profiler.GPUType, mode Mode) *Dev
 		clock:  clock,
 		loaded: make(map[string]int64),
 		shared: make(map[*job]struct{}),
+		slow:   1,
 	}
 	d.execDone = d.onExclusiveDone
 	d.sharedDone = d.onSharedDone
@@ -184,11 +189,29 @@ func (d *Device) Unload(key string) {
 	}
 }
 
+// SetSlowdown scales the execution time of work submitted from now on by
+// factor (straggler injection; 1 = nominal speed, 2 = twice as slow).
+// Work already queued or running is unaffected. Factors ≤ 1 (including the
+// reset value 0) restore nominal speed — the model is a degraded node, not
+// an overclocked one.
+func (d *Device) SetSlowdown(factor float64) {
+	if factor <= 1 {
+		factor = 1
+	}
+	d.slow = factor
+}
+
+// Slowdown returns the current straggler factor (1 = nominal).
+func (d *Device) Slowdown() float64 { return d.slow }
+
 // Submit enqueues a work item that needs `work` of exclusive GPU time;
 // done fires at completion. Non-positive work panics (profile bug).
 func (d *Device) Submit(work time.Duration, done func()) {
 	if work <= 0 {
 		panic(fmt.Sprintf("gpusim %s: non-positive work %v", d.ID, work))
+	}
+	if d.slow > 1 {
+		work = time.Duration(float64(work) * d.slow)
 	}
 	j := d.allocJob(work, done)
 	switch d.Mode {

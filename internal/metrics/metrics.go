@@ -151,25 +151,42 @@ func (h *Histogram) Merge(other *Histogram) {
 }
 
 // SessionStats accumulates the serving outcome of one session. A request is
-// "bad" if it was dropped or completed after its deadline (§4.3).
+// "bad" if it was lost before producing a response or completed after its
+// deadline (§4.3). Losses are counted by reason, so admission-control drops
+// are distinguishable from failures.
 type SessionStats struct {
 	Sent      uint64
-	Dropped   uint64
+	Dropped   uint64 // shed by the drop policy (deadline-based admission control)
 	Completed uint64
 	Missed    uint64 // completed but after the deadline
-	Latency   Histogram
+	// Loss reasons beyond the drop policy.
+	Unroutable uint64 // no route existed at the frontend
+	Reconfig   uint64 // lost to a control-plane reconfiguration race
+	Overload   uint64 // rejected by a bounded backend queue
+	Failed     uint64 // lost to a backend failure (queued or in flight)
+	Latency    Histogram
 }
 
 // Good returns the number of requests served within their deadline.
 func (s *SessionStats) Good() uint64 { return s.Completed - s.Missed }
 
-// BadRate returns the fraction of sent requests that were dropped or late.
+// Lost returns every request lost before producing a response, across all
+// reasons.
+func (s *SessionStats) Lost() uint64 {
+	return s.Dropped + s.Unroutable + s.Reconfig + s.Overload + s.Failed
+}
+
+// Bad returns the number of requests that count against SLO attainment:
+// lost for any reason, or completed late.
+func (s *SessionStats) Bad() uint64 { return s.Lost() + s.Missed }
+
+// BadRate returns the fraction of sent requests that were lost or late.
 // Requests still in flight count as neither.
 func (s *SessionStats) BadRate() float64 {
 	if s.Sent == 0 {
 		return 0
 	}
-	return float64(s.Dropped+s.Missed) / float64(s.Sent)
+	return float64(s.Bad()) / float64(s.Sent)
 }
 
 // GoodRate is 1 - BadRate measured over finished requests only.
@@ -181,6 +198,10 @@ func (s *SessionStats) Merge(other *SessionStats) {
 	s.Dropped += other.Dropped
 	s.Completed += other.Completed
 	s.Missed += other.Missed
+	s.Unroutable += other.Unroutable
+	s.Reconfig += other.Reconfig
+	s.Overload += other.Overload
+	s.Failed += other.Failed
 	s.Latency.Merge(&other.Latency)
 }
 
@@ -274,6 +295,65 @@ func (ts *TimeSeries) Mean(i int) float64 {
 // per-second rate when Add records unit counts.
 func (ts *TimeSeries) Rate(i int) float64 {
 	return ts.Sum(i) / ts.Interval.Seconds()
+}
+
+// RecoveryTime measures how long a disturbed deployment took to regain
+// frac (e.g. 0.95) of its pre-fault goodput. good is a per-interval
+// goodput timeline, faultAt the injection time, and preWindow how much
+// history before the fault defines the baseline rate (at least one
+// bucket). It returns the duration from faultAt to the end of the first
+// post-fault bucket whose rate reaches frac times the baseline, and false
+// if the timeline never recovers.
+func RecoveryTime(good *TimeSeries, faultAt, preWindow time.Duration, frac float64) (time.Duration, bool) {
+	if good == nil || good.Interval <= 0 {
+		return 0, false
+	}
+	fb := int(faultAt / good.Interval)
+	w := int(preWindow / good.Interval)
+	if w < 1 {
+		w = 1
+	}
+	lo := fb - w
+	if lo < 0 {
+		lo = 0
+	}
+	if fb <= lo {
+		return 0, false
+	}
+	var pre float64
+	for i := lo; i < fb; i++ {
+		pre += good.Rate(i)
+	}
+	pre /= float64(fb - lo)
+	if pre <= 0 {
+		return 0, true // nothing to recover
+	}
+	for i := fb + 1; i < good.Len(); i++ {
+		if good.Rate(i) >= frac*pre {
+			return time.Duration(i+1)*good.Interval - faultAt, true
+		}
+	}
+	return 0, false
+}
+
+// Attainment returns the per-bucket SLO attainment timeline
+// good/(good+bad), with 1 for buckets that saw no completions. The two
+// series must share an interval; the result spans the longer one.
+func Attainment(good, bad *TimeSeries) []float64 {
+	n := good.Len()
+	if bad.Len() > n {
+		n = bad.Len()
+	}
+	out := make([]float64, n)
+	for i := range out {
+		g, b := good.Sum(i), bad.Sum(i)
+		if g+b == 0 {
+			out[i] = 1
+			continue
+		}
+		out[i] = g / (g + b)
+	}
+	return out
 }
 
 // GoodputTarget is the goodness criterion used throughout the paper's
