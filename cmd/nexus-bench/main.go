@@ -5,6 +5,7 @@
 //	nexus-bench -run all -short       # run everything at reduced precision
 //	nexus-bench -run all -parallel 8  # bound the worker pool at 8
 //	nexus-bench -run all -json out.json
+//	nexus-bench -run fig13 -short -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments run concurrently through the runner pool (bounded by
 // -parallel, default GOMAXPROCS); tables are still printed in request
@@ -17,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -45,34 +48,69 @@ type jsonReport struct {
 	Results []jsonResult `json:"results"`
 }
 
+// main delegates to run so the profiling defers fire before os.Exit.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	list := flag.Bool("list", false, "list experiments and exit")
-	run := flag.String("run", "", "comma-separated experiment IDs, or 'all'")
+	runIDs := flag.String("run", "", "comma-separated experiment IDs, or 'all'")
 	short := flag.Bool("short", false, "reduced simulation horizons and search precision")
 	parallel := flag.Int("parallel", 0, "worker pool bound (0 = GOMAXPROCS, 1 = sequential)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path on exit")
 	flag.Parse()
 
-	if *list || *run == "" {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
+	if *list || *runIDs == "" {
 		fmt.Println("experiments:")
 		for _, e := range experiments.List() {
 			fmt.Printf("  %-8s %s\n", e.ID, e.Description)
 		}
-		if *run == "" && !*list {
+		if *runIDs == "" && !*list {
 			fmt.Println("\nuse -run <id>[,<id>...] or -run all")
 		}
-		return
+		return 0
 	}
 
 	runner.SetDefaultWorkers(*parallel)
 
 	var ids []string
-	if *run == "all" {
+	if *runIDs == "all" {
 		for _, e := range experiments.List() {
 			ids = append(ids, e.ID)
 		}
 	} else {
-		for _, id := range strings.Split(*run, ",") {
+		for _, id := range strings.Split(*runIDs, ",") {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
@@ -139,5 +177,5 @@ func main() {
 			exitCode = 1
 		}
 	}
-	os.Exit(exitCode)
+	return exitCode
 }

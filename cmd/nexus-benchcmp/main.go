@@ -1,0 +1,199 @@
+// nexus-benchcmp converts `go test -bench` output into a stable JSON form
+// and compares two such files for performance regressions.
+//
+//	go test -run=NONE -bench=. -benchmem ./... | nexus-benchcmp -parse -o results/BENCH_pr.json
+//	nexus-benchcmp -baseline results/BENCH_baseline.json -current results/BENCH_pr.json -tolerance 0.10
+//
+// Comparison exits non-zero when any benchmark present in both files shows
+// ns/op or allocs/op above baseline by more than the tolerance. Benchmarks
+// present on only one side are reported but never fail the run, so adding
+// or retiring a benchmark does not break CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iters"`
+	NsPerOp  float64 `json:"ns_op"`
+	BPerOp   float64 `json:"b_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// parseBench reads `go test -bench` text and extracts benchmark lines:
+//
+//	BenchmarkName-8   12  95014552 ns/op  1048600 B/op  13213 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so results compare across machines.
+func parseBench(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		e := Entry{Name: name, Iters: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BPerOp = v
+			case "allocs/op":
+				e.AllocsOp = v
+			}
+		}
+		if e.NsPerOp > 0 {
+			out = append(out, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func load(path string) (map[string]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]Entry, len(rep.Benchmarks))
+	for _, e := range rep.Benchmarks {
+		m[e.Name] = e
+	}
+	return m, nil
+}
+
+// delta returns the relative change current/base - 1; base <= 0 yields 0
+// (nothing meaningful to compare against).
+func delta(base, cur float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return cur/base - 1
+}
+
+func compare(basePath, curPath string, tolerance float64, w io.Writer) (failed bool, err error) {
+	base, err := load(basePath)
+	if err != nil {
+		return false, err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return false, err
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-40s %15s %15s %15s\n", "benchmark", "ns/op Δ", "allocs/op Δ", "verdict")
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s %15s %15s %15s\n", name, "-", "-", "missing")
+			continue
+		}
+		dNs := delta(b.NsPerOp, c.NsPerOp)
+		dAl := delta(b.AllocsOp, c.AllocsOp)
+		verdict := "ok"
+		if dNs > tolerance || dAl > tolerance {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(w, "%-40s %+14.1f%% %+14.1f%% %15s\n", name, 100*dNs, 100*dAl, verdict)
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Fprintf(w, "%-40s %15s %15s %15s\n", name, "-", "-", "new")
+		}
+	}
+	return failed, nil
+}
+
+func main() {
+	parse := flag.Bool("parse", false, "parse `go test -bench` output from stdin into JSON")
+	out := flag.String("o", "", "output path for -parse (default stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON file")
+	current := flag.String("current", "", "current JSON file to compare against the baseline")
+	tolerance := flag.Float64("tolerance", 0.10, "relative regression tolerance on ns/op and allocs/op")
+	flag.Parse()
+
+	switch {
+	case *parse:
+		entries, err := parseBench(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(entries) == 0 {
+			fmt.Fprintln(os.Stderr, "nexus-benchcmp: no benchmark lines found on stdin")
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(Report{Benchmarks: entries}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *out == "" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *baseline != "" && *current != "":
+		failed, err := compare(*baseline, *current, *tolerance, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if failed {
+			fmt.Fprintf(os.Stderr, "nexus-benchcmp: regression beyond %.0f%% tolerance\n", *tolerance*100)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: nexus-benchcmp -parse [-o file.json] < bench.txt")
+		fmt.Fprintln(os.Stderr, "       nexus-benchcmp -baseline a.json -current b.json [-tolerance 0.10]")
+		os.Exit(2)
+	}
+}

@@ -96,6 +96,15 @@ type Backend struct {
 
 	hb       *simclock.Ticker
 	hbPeriod time.Duration
+
+	// rrStepFn is b.stepRR bound once, so the round-robin loop does not
+	// materialize a fresh method value per executed batch.
+	rrStepFn func()
+	// runPool recycles batchRun state (and its bound callbacks) across
+	// batches; the data plane allocates nothing per batch at steady state.
+	runPool []*batchRun
+	// memberCnt is gpuTime's per-session scratch, reused across batches.
+	memberCnt map[string]int
 }
 
 type unitState struct {
@@ -104,6 +113,12 @@ type unitState struct {
 	deferred Queue // low-priority overflow when DeferDropped is on
 	ready    bool
 	running  bool // Parallel discipline: a batch is in flight
+	// est is the unit's batch-latency estimator, allocated once so the
+	// dispatch loop does not rebuild a closure per Pick call.
+	est func(int) time.Duration
+	// resume restarts the unit's Parallel-discipline loop after a batch,
+	// allocated once for the same reason.
+	resume func()
 }
 
 // New creates a backend on the given device.
@@ -114,11 +129,13 @@ func New(id string, clock *simclock.Clock, dev *gpusim.Device, cfg Config, onDon
 	if cfg.CPUWorkers <= 0 {
 		cfg.CPUWorkers = 5
 	}
-	return &Backend{
+	b := &Backend{
 		ID: id, clock: clock, dev: dev, cfg: cfg,
 		byID:   make(map[string]*unitState),
 		onDone: onDone,
 	}
+	b.rrStepFn = b.stepRR
+	return b
 }
 
 // Device exposes the underlying simulated GPU (for utilization metrics).
@@ -190,6 +207,11 @@ func (b *Backend) Configure(units []Unit) error {
 			continue
 		}
 		us := &unitState{Unit: nu}
+		us.est = func(n int) time.Duration { return b.estimate(us, n) }
+		us.resume = func() {
+			us.running = false
+			b.stepUnit(us)
+		}
 		bytes := nu.Profile.MemBase + int64(nu.TargetBatch)*nu.Profile.MemPerItem
 		if err := b.dev.Load(nu.ID, bytes, func() {
 			us.ready = true
@@ -412,14 +434,12 @@ func (b *Backend) stepRR() {
 		if !u.ready || u.queue.Len() == 0 {
 			continue
 		}
-		batch, dropped := b.cfg.Policy.Pick(&u.queue, b.clock.Now(), b.dynamicTarget(u), func(n int) time.Duration {
-			return b.estimate(u, n)
-		})
+		batch, dropped := b.cfg.Policy.Pick(&u.queue, b.clock.Now(), b.dynamicTarget(u), u.est)
 		b.handleDropped(u, dropped)
 		if len(batch) == 0 {
 			continue
 		}
-		b.execute(u, batch, b.stepRR)
+		b.execute(u, batch, b.rrStepFn)
 		return
 	}
 	// No unit has on-time work; serve deferred low-priority requests, if
@@ -435,7 +455,7 @@ func (b *Backend) stepRR() {
 			if l := u.deferred.Len(); l < n {
 				n = l
 			}
-			b.execute(u, u.deferred.PopN(n), b.stepRR)
+			b.execute(u, u.deferred.PopN(n), b.rrStepFn)
 			return
 		}
 	}
@@ -443,7 +463,8 @@ func (b *Backend) stepRR() {
 }
 
 // handleDropped either reports drops or, in deferred mode, requeues them
-// at low priority (dropping only past the deferred-queue bound).
+// at low priority (dropping only past the deferred-queue bound). The
+// dropped slice is consumed: it returns to the queue's batch free list.
 func (b *Backend) handleDropped(u *unitState, dropped []Request) {
 	for _, r := range dropped {
 		if b.cfg.DeferDropped && u.deferred.Len() < maxDeferred {
@@ -452,6 +473,7 @@ func (b *Backend) handleDropped(u *unitState, dropped []Request) {
 		}
 		b.complete(r, DropDeadline)
 	}
+	u.queue.Recycle(dropped)
 }
 
 // stepUnit runs one unit's independent loop (Parallel discipline).
@@ -459,9 +481,7 @@ func (b *Backend) stepUnit(u *unitState) {
 	if b.failed || u.running || !u.ready || u.queue.Len() == 0 {
 		return
 	}
-	batch, dropped := b.cfg.Policy.Pick(&u.queue, b.clock.Now(), b.dynamicTarget(u), func(n int) time.Duration {
-		return b.estimate(u, n)
-	})
+	batch, dropped := b.cfg.Policy.Pick(&u.queue, b.clock.Now(), b.dynamicTarget(u), u.est)
 	b.handleDropped(u, dropped)
 	if len(batch) == 0 {
 		if u.queue.Len() > 0 {
@@ -474,19 +494,13 @@ func (b *Backend) stepUnit(u *unitState) {
 			if l := u.deferred.Len(); l < n {
 				n = l
 			}
-			b.execute(u, u.deferred.PopN(n), func() {
-				u.running = false
-				b.stepUnit(u)
-			})
+			b.execute(u, u.deferred.PopN(n), u.resume)
 			u.running = true
 		}
 		return
 	}
 	u.running = true
-	b.execute(u, batch, func() {
-		u.running = false
-		b.stepUnit(u)
-	})
+	b.execute(u, batch, u.resume)
 }
 
 // gpuTime returns the GPU execution time of a batch. Plain units use the
@@ -498,7 +512,11 @@ func (b *Backend) gpuTime(u *unitState, batch []Request) time.Duration {
 	if u.Prefix == nil || u.Suffix == nil {
 		return u.Profile.BatchLatency(n)
 	}
-	perMember := make(map[string]int, 4)
+	if b.memberCnt == nil {
+		b.memberCnt = make(map[string]int, 8)
+	}
+	perMember := b.memberCnt
+	clear(perMember)
 	for _, r := range batch {
 		perMember[r.Session]++
 	}
@@ -514,6 +532,75 @@ func (b *Backend) gpuTime(u *unitState, batch []Request) time.Duration {
 	return total
 }
 
+// batchRun is the in-flight state of one executing batch. Runs are pooled
+// on the backend and carry their clock/device callbacks as method values
+// bound once at construction, so steady-state execution allocates nothing
+// per batch. A run returns to the pool at the end of afterPost — the last
+// callback in its chain — and only then may be reused.
+type batchRun struct {
+	b       *Backend
+	u       *unitState
+	batch   []Request
+	inc     uint64
+	done    func()
+	gpu     time.Duration
+	post    time.Duration
+	overlap bool
+
+	preFn  func() // bound submitGPU
+	gpuFn  func() // bound gpuDone
+	postFn func() // bound afterPost
+}
+
+func (b *Backend) newRun() *batchRun {
+	if n := len(b.runPool); n > 0 {
+		r := b.runPool[n-1]
+		b.runPool = b.runPool[:n-1]
+		return r
+	}
+	r := &batchRun{b: b}
+	r.preFn = r.submitGPU
+	r.gpuFn = r.gpuDone
+	r.postFn = r.afterPost
+	return r
+}
+
+func (r *batchRun) submitGPU() { r.b.dev.Submit(r.gpu, r.gpuFn) }
+
+func (r *batchRun) gpuDone() {
+	b := r.b
+	b.lastGPUEnd = b.clock.Now()
+	// Postprocessing happens on the CPU pool; with Overlap it is off the
+	// GPU's critical path and the next batch may start immediately.
+	b.clock.After(r.post, r.postFn)
+	if r.overlap && b.inc == r.inc {
+		r.done()
+	}
+}
+
+func (r *batchRun) afterPost() {
+	b := r.b
+	outcome := OK
+	if b.inc != r.inc {
+		// The node crashed while this batch was in flight: the results
+		// are lost, and the requests complete as failures.
+		outcome = DropFailure
+	}
+	for _, q := range r.batch {
+		b.complete(q, outcome)
+	}
+	// The batch is fully reported; its slice can serve the next pick.
+	r.u.queue.Recycle(r.batch)
+	overlap, inc, done := r.overlap, r.inc, r.done
+	// Release the run before resuming the loop: done may start the next
+	// batch, which is free to reuse this object.
+	r.u, r.batch, r.done = nil, nil, nil
+	b.runPool = append(b.runPool, r)
+	if !overlap && b.inc == inc {
+		done()
+	}
+}
+
 // execute runs one batch: CPU preprocessing, GPU execution, CPU
 // postprocessing. With Overlap, preprocessing hides behind the previous
 // GPU batch (when warm) and postprocessing does not gate the next batch;
@@ -526,53 +613,19 @@ func (b *Backend) execute(u *unitState, batch []Request, done func()) {
 	if b.cfg.OnBatch != nil {
 		b.cfg.OnBatch(b.ID, u.ID, batch)
 	}
+	r := b.newRun()
+	r.u, r.batch, r.done = u, batch, done
 	// Capture the incarnation: if the node crashes while this batch is in
 	// flight, its device timers still fire, but the results are lost — the
 	// requests complete as failures and the old execution chain halts
 	// rather than resuming on the restarted node.
-	inc := b.inc
-	gpu := b.gpuTime(u, batch)
+	r.inc = b.inc
+	r.gpu = b.gpuTime(u, batch)
+	r.post = b.cpuTime(u.Profile.PostprocCPU, n)
+	r.overlap = b.cfg.Overlap
 	pre := b.cpuTime(u.Profile.PreprocCPU, n)
-	post := b.cpuTime(u.Profile.PostprocCPU, n)
-	finish := func() {
-		if b.inc != inc {
-			for _, r := range batch {
-				b.complete(r, DropFailure)
-			}
-			return
-		}
-		for _, r := range batch {
-			b.complete(r, OK)
-		}
+	if r.overlap && b.pipelineWarm() {
+		pre = 0
 	}
-	step := func() {
-		if b.inc == inc {
-			done()
-		}
-	}
-	if b.cfg.Overlap {
-		delay := time.Duration(0)
-		if !b.pipelineWarm() {
-			delay = pre
-		}
-		b.clock.After(delay, func() {
-			b.dev.Submit(gpu, func() {
-				b.lastGPUEnd = b.clock.Now()
-				// Postprocessing happens on the CPU pool, off the GPU's
-				// critical path: the next batch may start immediately.
-				b.clock.After(post, func() { finish() })
-				step()
-			})
-		})
-		return
-	}
-	b.clock.After(pre, func() {
-		b.dev.Submit(gpu, func() {
-			b.lastGPUEnd = b.clock.Now()
-			b.clock.After(post, func() {
-				finish()
-				step()
-			})
-		})
-	})
+	b.clock.After(pre, r.preFn)
 }

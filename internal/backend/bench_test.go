@@ -1,0 +1,43 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"nexus/internal/gpusim"
+	"nexus/internal/profiler"
+	"nexus/internal/simclock"
+	"nexus/internal/workload"
+)
+
+// BenchmarkDispatchHotPath measures the full node data plane — enqueue,
+// early-drop admission, ring-buffer batch assembly, simulated execution,
+// completion — for three seconds of simulated overload per iteration. This
+// is the loop the ring queue, batch recycling, and memoized latency tables
+// optimize.
+func BenchmarkDispatchHotPath(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clock := simclock.New()
+		dev := gpusim.New(clock, "gpu0", profiler.GTX1080Ti, gpusim.Exclusive)
+		served := 0
+		be := New("b0", clock, dev, Config{Overlap: true, Discipline: RoundRobin},
+			func(req Request, outcome Outcome, at time.Duration) { served++ })
+		if err := be.Configure([]Unit{{ID: "u", Profile: testUnitProfile(), TargetBatch: 16}}); err != nil {
+			b.Fatal(err)
+		}
+		clock.RunUntil(2 * time.Second) // model load
+		rng := rand.New(rand.NewSource(7))
+		workload.Start(clock, rng, "s", 100*time.Millisecond, workload.Uniform{Rate: 2000},
+			3*time.Second, func(r workload.Request) {
+				if err := be.Enqueue("u", r); err != nil {
+					b.Fatal(err)
+				}
+			})
+		clock.Run()
+		if served == 0 {
+			b.Fatal("no requests served")
+		}
+	}
+}

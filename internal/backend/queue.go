@@ -17,33 +17,135 @@ type Request = workload.Request
 
 // Queue is a FIFO of requests for one execution unit. Requests of a unit
 // share an SLO, so deadlines are non-decreasing in arrival order.
+//
+// It is a growable ring buffer: Push and PopN are amortized O(1) per
+// request, and once the ring and the batch free list have grown to the
+// workload's steady state, the dispatch loop runs without allocating.
+// Vacated slots are zeroed so popped requests do not pin their payloads.
 type Queue struct {
-	items []Request
+	buf  []Request // ring storage; len(buf) is a power of two (or 0)
+	head int       // index of the oldest request
+	n    int       // live request count
+	// free recycles batch slices handed out by PopN: callers return them
+	// via Recycle once the batch has fully completed.
+	free [][]Request
 }
 
+// minQueueCap is the initial ring size on first Push.
+const minQueueCap = 16
+
+// maxFreeBatches bounds the per-queue batch free list; at most this many
+// batches of one unit are ever in flight plus being dropped concurrently.
+const maxFreeBatches = 8
+
 // Push appends a request.
-func (q *Queue) Push(r Request) { q.items = append(q.items, r) }
+func (q *Queue) Push(r Request) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = r
+	q.n++
+}
+
+// grow doubles the ring, unwrapping the live region to the front.
+func (q *Queue) grow() {
+	newCap := 2 * len(q.buf)
+	if newCap < minQueueCap {
+		newCap = minQueueCap
+	}
+	buf := make([]Request, newCap)
+	q.copyOut(buf[:q.n])
+	q.buf = buf
+	q.head = 0
+}
+
+// copyOut copies the oldest len(dst) requests into dst in FIFO order.
+func (q *Queue) copyOut(dst []Request) {
+	if len(dst) == 0 {
+		return
+	}
+	first := q.buf[q.head:]
+	if len(first) > len(dst) {
+		first = first[:len(dst)]
+	}
+	copy(dst, first)
+	if rest := len(dst) - len(first); rest > 0 {
+		copy(dst[len(first):], q.buf[:rest])
+	}
+}
 
 // Len returns the queue length.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return q.n }
 
 // Head returns the oldest request without removing it.
 func (q *Queue) Head() (Request, bool) {
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return Request{}, false
 	}
-	return q.items[0], true
+	return q.buf[q.head], true
 }
 
-// PopN removes and returns the first n requests.
-func (q *Queue) PopN(n int) []Request {
-	if n > len(q.items) {
-		n = len(q.items)
+// At returns the i-th oldest request without removing it. It panics when i
+// is out of range, mirroring a slice index.
+func (q *Queue) At(i int) Request {
+	if i < 0 || i >= q.n {
+		panic("backend: Queue.At out of range")
 	}
-	out := make([]Request, n)
-	copy(out, q.items[:n])
-	q.items = q.items[:copy(q.items, q.items[n:])]
+	return q.buf[(q.head+i)&(len(q.buf)-1)]
+}
+
+// PopN removes and returns the first n requests (fewer when the queue is
+// shorter). The returned slice comes from the queue's free list when one is
+// available; callers that are done with a batch should hand it back with
+// Recycle so steady-state dispatch does not allocate.
+func (q *Queue) PopN(n int) []Request {
+	if n > q.n {
+		n = q.n
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := q.batchSlice(n)
+	q.copyOut(out)
+	// Zero the vacated region: a slice-based queue that only re-slices
+	// would pin dropped requests (and their payloads) indefinitely.
+	mask := len(q.buf) - 1
+	for i := 0; i < n; i++ {
+		q.buf[(q.head+i)&mask] = Request{}
+	}
+	q.head = (q.head + n) & mask
+	q.n -= n
 	return out
+}
+
+// batchSlice returns a length-n slice, reusing a recycled batch when able.
+func (q *Queue) batchSlice(n int) []Request {
+	for i := len(q.free) - 1; i >= 0; i-- {
+		s := q.free[i]
+		if cap(s) >= n {
+			last := len(q.free) - 1
+			q.free[i] = q.free[last]
+			q.free[last] = nil
+			q.free = q.free[:last]
+			return s[:n]
+		}
+	}
+	return make([]Request, n)
+}
+
+// Recycle returns a batch slice obtained from PopN to the queue's free
+// list once every request in it has completed. The slice must not be used
+// after the call. Recycling foreign slices is allowed (they join the pool);
+// nil and zero-capacity slices are ignored.
+func (q *Queue) Recycle(batch []Request) {
+	if cap(batch) == 0 || len(q.free) >= maxFreeBatches {
+		return
+	}
+	batch = batch[:cap(batch)]
+	for i := range batch {
+		batch[i] = Request{} // release request payloads held by the batch
+	}
+	q.free = append(q.free, batch[:0])
 }
 
 // DropPolicy selects which queued requests to execute and which to drop
@@ -69,22 +171,27 @@ func (LazyDrop) Name() string { return "lazy" }
 
 // Pick implements DropPolicy.
 func (LazyDrop) Pick(q *Queue, now time.Duration, target int, estimate func(int) time.Duration) (batch, dropped []Request) {
+	return lazyPick(q, now, target, estimate, now+estimate(1))
+}
+
+// lazyPick is LazyDrop.Pick with the batch-of-one completion bound already
+// computed, so EarlyDrop's fallback can reuse the estimate from its scan.
+func lazyPick(q *Queue, now time.Duration, target int, estimate func(int) time.Duration, minFinish time.Duration) (batch, dropped []Request) {
 	// Drop requests whose deadline cannot be met even alone.
-	minFinish := now + estimate(1)
 	expired := 0
-	for expired < len(q.items) && q.items[expired].Deadline < minFinish {
+	for expired < q.n && q.At(expired).Deadline < minFinish {
 		expired++
 	}
 	if expired > 0 {
 		dropped = q.PopN(expired)
 	}
-	if q.Len() == 0 {
+	if q.n == 0 {
 		return nil, dropped
 	}
 	// Size the batch by the head-of-line request's remaining budget.
-	budget := q.items[0].Deadline - now
+	budget := q.buf[q.head].Deadline - now
 	b := 1
-	for b < target && b < q.Len() && estimate(b+1) <= budget {
+	for b < target && b < q.n && estimate(b+1) <= budget {
 		b++
 	}
 	return q.PopN(b), dropped
@@ -104,17 +211,44 @@ func (EarlyDrop) Pick(q *Queue, now time.Duration, target int, estimate func(int
 	if target < 1 {
 		target = 1
 	}
-	for i := 0; i < q.Len(); i++ {
-		w := target
-		if rest := q.Len() - i; rest < w {
-			w = rest
+	n := q.Len()
+	if n == 0 {
+		return nil, nil
+	}
+	// While a full window remains, the anchor test compares against the
+	// same now+estimate(target) at every position — hoist it instead of
+	// re-walking the profile's latency lattice per position.
+	if full := n - target; full >= 0 {
+		threshold := now + estimate(target)
+		for i := 0; i <= full; i++ {
+			if q.At(i).Deadline >= threshold {
+				dropped = q.PopN(i)
+				return q.PopN(target), dropped
+			}
 		}
-		if q.items[i].Deadline >= now+estimate(w) {
+	}
+	// Tail positions: the window shrinks one request per step, so each
+	// estimate(w) here is computed exactly once.
+	est1 := time.Duration(-1)
+	start := n - target + 1
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i < n; i++ {
+		w := n - i
+		est := estimate(w)
+		if w == 1 {
+			est1 = est
+		}
+		if q.At(i).Deadline >= now+est {
 			dropped = q.PopN(i)
 			return q.PopN(w), dropped
 		}
 	}
-	// No request can anchor a full window; behave lazily on what is left.
-	lazyBatch, lazyDropped := LazyDrop{}.Pick(q, now, target, estimate)
-	return lazyBatch, lazyDropped
+	// No request can anchor a window; behave lazily on what is left,
+	// reusing the batch-of-one estimate the tail scan just computed.
+	if est1 < 0 {
+		est1 = estimate(1)
+	}
+	return lazyPick(q, now, target, estimate, now+est1)
 }

@@ -1,0 +1,262 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// ringReq builds a request with an ID-derived deadline for ring tests.
+func ringReq(id uint64, deadline time.Duration) Request {
+	return Request{ID: id, Session: "s", Deadline: deadline}
+}
+
+// TestRingWraparound pins FIFO order across the ring seam: pops open space
+// at the front, pushes wrap past the end, and At/Head/PopN must still see
+// arrival order.
+func TestRingWraparound(t *testing.T) {
+	var q Queue
+	id := uint64(0)
+	push := func(k int) {
+		for i := 0; i < k; i++ {
+			q.Push(ringReq(id, time.Duration(id)))
+			id++
+		}
+	}
+	next := uint64(0)
+	pop := func(k int) {
+		batch := q.PopN(k)
+		if len(batch) != k {
+			t.Fatalf("PopN(%d) returned %d requests", k, len(batch))
+		}
+		for _, r := range batch {
+			if r.ID != next {
+				t.Fatalf("popped ID %d, want %d", r.ID, next)
+			}
+			next++
+		}
+	}
+	// Fill to the initial capacity, then repeatedly pop a few and push a
+	// few so the live region crosses the seam many times.
+	push(minQueueCap)
+	for round := 0; round < 10; round++ {
+		pop(5)
+		push(5)
+		if q.Len() != minQueueCap {
+			t.Fatalf("len = %d, want %d", q.Len(), minQueueCap)
+		}
+		for i := 0; i < q.Len(); i++ {
+			if got := q.At(i).ID; got != next+uint64(i) {
+				t.Fatalf("At(%d) = %d, want %d", i, got, next+uint64(i))
+			}
+		}
+	}
+}
+
+// TestRingGrowWhileWrapped pins that growing a ring whose live region wraps
+// the seam unwraps it correctly: no request lost, duplicated, or reordered.
+func TestRingGrowWhileWrapped(t *testing.T) {
+	var q Queue
+	id := uint64(0)
+	for i := 0; i < minQueueCap; i++ {
+		q.Push(ringReq(id, 0))
+		id++
+	}
+	// Advance head past the midpoint so subsequent pushes wrap.
+	popped := q.PopN(minQueueCap - 3)
+	q.Recycle(popped)
+	for i := 0; i < minQueueCap - 3; i++ { // refill: live region now wraps
+		q.Push(ringReq(id, 0))
+		id++
+	}
+	// One more push forces grow() with a wrapped region.
+	q.Push(ringReq(id, 0))
+	id++
+	want := uint64(minQueueCap - 3)
+	if q.Len() != minQueueCap+1 {
+		t.Fatalf("len after grow = %d, want %d", q.Len(), minQueueCap+1)
+	}
+	for i := 0; i < q.Len(); i++ {
+		if got := q.At(i).ID; got != want+uint64(i) {
+			t.Fatalf("At(%d) = %d after grow, want %d", i, got, want+uint64(i))
+		}
+	}
+}
+
+// TestPopNClampsAndZeroes pins PopN(n > Len) clamping and that vacated
+// slots no longer pin request payloads.
+func TestPopNClampsAndZeroes(t *testing.T) {
+	var q Queue
+	for i := 0; i < 5; i++ {
+		q.Push(ringReq(uint64(i), time.Duration(i)))
+	}
+	if got := q.PopN(100); len(got) != 5 {
+		t.Fatalf("PopN(100) returned %d requests, want 5", len(got))
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len after drain = %d, want 0", q.Len())
+	}
+	if got := q.PopN(3); got != nil {
+		t.Fatalf("PopN on empty queue = %v, want nil", got)
+	}
+	if got := q.PopN(0); got != nil {
+		t.Fatalf("PopN(0) = %v, want nil", got)
+	}
+	for i := range q.buf {
+		if q.buf[i].ID != 0 || q.buf[i].Session != "" {
+			t.Fatalf("vacated slot %d still holds %+v", i, q.buf[i])
+		}
+	}
+}
+
+// refQueue is the obviously-correct slice model the ring is checked against.
+type refQueue struct{ items []Request }
+
+func (r *refQueue) Push(req Request) { r.items = append(r.items, req) }
+func (r *refQueue) Len() int         { return len(r.items) }
+func (r *refQueue) At(i int) Request { return r.items[i] }
+func (r *refQueue) PopN(n int) []Request {
+	if n > len(r.items) {
+		n = len(r.items)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := append([]Request(nil), r.items[:n]...)
+	r.items = r.items[n:]
+	return out
+}
+
+// refEarlyPick is the pre-optimization EarlyDrop scan, kept verbatim as the
+// behavioural reference: one sliding window, estimate(w) recomputed at
+// every position, lazy fallback.
+func refEarlyPick(q *refQueue, now time.Duration, target int, estimate func(int) time.Duration) (batch, dropped []Request) {
+	if target < 1 {
+		target = 1
+	}
+	n := q.Len()
+	if n == 0 {
+		return nil, nil
+	}
+	for i := 0; i < n; i++ {
+		w := target
+		if rest := n - i; rest < w {
+			w = rest
+		}
+		if q.At(i).Deadline >= now+estimate(w) {
+			dropped = q.PopN(i)
+			return q.PopN(w), dropped
+		}
+	}
+	return refLazyPick(q, now, target, estimate)
+}
+
+// refLazyPick is the pre-optimization LazyDrop scan.
+func refLazyPick(q *refQueue, now time.Duration, target int, estimate func(int) time.Duration) (batch, dropped []Request) {
+	minFinish := now + estimate(1)
+	expired := 0
+	for expired < q.Len() && q.At(expired).Deadline < minFinish {
+		expired++
+	}
+	if expired > 0 {
+		dropped = q.PopN(expired)
+	}
+	if q.Len() == 0 {
+		return nil, dropped
+	}
+	budget := q.At(0).Deadline - now
+	b := 1
+	for b < target && b < q.Len() && estimate(b+1) <= budget {
+		b++
+	}
+	return q.PopN(b), dropped
+}
+
+func sameIDs(t *testing.T, kind string, got, want []Request) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d requests, want %d", kind, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("%s[%d]: got ID %d, want %d", kind, i, got[i].ID, want[i].ID)
+		}
+	}
+}
+
+// TestDifferentialDropPolicies drives the optimized ring queue and drop
+// policies against the reference model on randomized workloads: random
+// pushes (including non-monotone deadlines, as the frontend retry path can
+// produce), random targets, and a counting estimate so the optimized scan
+// is also checked for not calling estimate more often than it must.
+func TestDifferentialDropPolicies(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		var ref refQueue
+		var early EarlyDrop
+		var lazy LazyDrop
+		alpha := time.Duration(rng.Intn(5)+1) * time.Millisecond
+		beta := time.Duration(rng.Intn(10)) * time.Millisecond
+		estimate := func(b int) time.Duration { return alpha*time.Duration(b) + beta }
+		now := time.Duration(0)
+		id := uint64(0)
+		for step := 0; step < 400; step++ {
+			switch op := rng.Intn(10); {
+			case op < 6: // push a burst
+				for k := rng.Intn(4); k >= 0; k-- {
+					// Deadlines scatter around now, occasionally in the
+					// past and occasionally out of arrival order.
+					dl := now + time.Duration(rng.Intn(120)-20)*time.Millisecond
+					r := ringReq(id, dl)
+					id++
+					q.Push(r)
+					ref.Push(r)
+				}
+			case op < 9: // early-drop pick
+				target := rng.Intn(8)
+				gotB, gotD := early.Pick(&q, now, target, estimate)
+				wantB, wantD := refEarlyPick(&ref, now, target, estimate)
+				sameIDs(t, "early batch", gotB, wantB)
+				sameIDs(t, "early dropped", gotD, wantD)
+				q.Recycle(gotB)
+				q.Recycle(gotD)
+			default: // lazy pick
+				target := rng.Intn(8) + 1
+				gotB, gotD := lazy.Pick(&q, now, target, estimate)
+				wantB, wantD := refLazyPick(&ref, now, target, estimate)
+				sameIDs(t, "lazy batch", gotB, wantB)
+				sameIDs(t, "lazy dropped", gotD, wantD)
+				q.Recycle(gotB)
+				q.Recycle(gotD)
+			}
+			if q.Len() != ref.Len() {
+				t.Fatalf("seed %d step %d: len %d vs ref %d", seed, step, q.Len(), ref.Len())
+			}
+			now += time.Duration(rng.Intn(20)) * time.Millisecond
+		}
+	}
+}
+
+// TestEstimateCallBudget pins the optimization itself: one EarlyDrop pick
+// over a queue with a full window at every position must evaluate the
+// latency model once, not once per scanned position.
+func TestEstimateCallBudget(t *testing.T) {
+	var q Queue
+	for i := 0; i < 64; i++ {
+		q.Push(ringReq(uint64(i), time.Hour)) // generous deadlines: window anchors at 0
+	}
+	calls := 0
+	estimate := func(b int) time.Duration {
+		calls++
+		return time.Duration(b) * time.Millisecond
+	}
+	var early EarlyDrop
+	batch, dropped := early.Pick(&q, 0, 8, estimate)
+	if len(batch) != 8 || len(dropped) != 0 {
+		t.Fatalf("pick = %d batch / %d dropped, want 8/0", len(batch), len(dropped))
+	}
+	if calls != 1 {
+		t.Fatalf("estimate called %d times for a hoistable scan, want 1", calls)
+	}
+}

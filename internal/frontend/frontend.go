@@ -53,6 +53,22 @@ func (rt RoutingTable) Validate() error {
 // exhausted) or DropFailure (target backend dead, retry exhausted).
 type DropFunc func(req workload.Request, reason backend.Outcome)
 
+// resolvedRoute is a Route with its backend pointer resolved at table-push
+// time, so the per-request send path does not look the backend up by ID.
+type resolvedRoute struct {
+	Route
+	be *backend.Backend
+}
+
+// sessionState is the per-session dispatch state: resolved routes, the
+// smooth-WRR accumulator, and the rate counter. Collapsing these into one
+// struct makes Dispatch a single map lookup per request.
+type sessionState struct {
+	routes []resolvedRoute
+	wrr    []float64
+	count  uint64
+}
+
 // Frontend dispatches requests to backends.
 type Frontend struct {
 	clock    *simclock.Clock
@@ -64,14 +80,69 @@ type Frontend struct {
 	retry bool
 
 	table RoutingTable
-	wrr   map[string][]float64 // smooth weighted round-robin state per session
+	// sessions is the resolved dispatch state, rebuilt whenever the table
+	// changes (SetTable, RemoveBackend). Route repair and resource release
+	// happen in the same simulation event, so a resolved backend pointer is
+	// never observed stale by a dispatch.
+	sessions map[string]*sessionState
 
 	// onDrop observes requests the frontend loses, with the reason.
 	onDrop DropFunc
 
-	// Rate observation for the control plane.
-	counts     map[string]uint64
+	// Rate observation for the control plane. Live sessions count in their
+	// sessionState; residual holds counts of sessions whose routes were
+	// removed mid-window, so their traffic still shows in ObservedRates.
+	residual   map[string]uint64
 	windowFrom time.Duration
+
+	// sendPool recycles in-flight send state (and its bound delivery
+	// callback) so the per-request network hop allocates nothing.
+	sendPool []*pendingSend
+}
+
+// pendingSend is one request in flight across the frontend->backend network
+// delay. Pooled on the frontend; deliver copies its fields out and releases
+// the object before acting, so a nested retry may safely reuse it.
+type pendingSend struct {
+	f        *Frontend
+	req      workload.Request
+	r        resolvedRoute
+	firstTry bool
+	fire     func() // bound deliver
+}
+
+func (p *pendingSend) deliver() {
+	f, req, r, firstTry := p.f, p.req, p.r, p.firstTry
+	p.req, p.r = workload.Request{}, resolvedRoute{}
+	f.sendPool = append(f.sendPool, p)
+
+	var err error
+	if r.be == nil {
+		err = backend.ErrBackendDown
+	} else {
+		err = r.be.Enqueue(r.UnitID, req)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, backend.ErrQueueFull):
+		// Overload is the drop policy's job, not the retry path's:
+		// bouncing the request to another replica would just smear the
+		// hotspot.
+		f.drop(req, backend.DropOverload)
+	default:
+		reason := backend.DropFailure
+		if errors.Is(err, backend.ErrUnitRemoved) {
+			reason = backend.DropReconfig
+		}
+		if f.retry && firstTry {
+			if alt, ok := f.altRoute(req.Session, r.BackendID); ok &&
+				req.Deadline-f.clock.Now() > f.netDelay+f.extraDelay {
+				f.send(req, alt, false)
+				return
+			}
+		}
+		f.drop(req, reason)
+	}
 }
 
 // DefaultNetDelay is the one-way frontend<->backend dispatch latency.
@@ -89,9 +160,9 @@ func New(clock *simclock.Clock, backends map[string]*backend.Backend, netDelay t
 		backends: backends,
 		netDelay: netDelay,
 		table:    RoutingTable{},
-		wrr:      make(map[string][]float64),
+		sessions: make(map[string]*sessionState),
 		onDrop:   onDrop,
-		counts:   make(map[string]uint64),
+		residual: make(map[string]uint64),
 	}
 }
 
@@ -125,71 +196,82 @@ func (f *Frontend) SetTable(rt RoutingTable) error {
 		}
 	}
 	f.table = rt
-	f.wrr = make(map[string][]float64)
+	sessions := make(map[string]*sessionState, len(rt))
+	for sid, routes := range rt {
+		st := &sessionState{routes: f.resolve(routes), wrr: make([]float64, len(routes))}
+		// Rate counts survive table pushes: the count is keyed by session,
+		// not by its routes.
+		if old, ok := f.sessions[sid]; ok {
+			st.count = old.count
+		} else if n, ok := f.residual[sid]; ok {
+			st.count = n
+			delete(f.residual, sid)
+		}
+		sessions[sid] = st
+	}
+	// Sessions dropped from the table keep their window counts.
+	for sid, st := range f.sessions {
+		if _, ok := sessions[sid]; !ok && st.count > 0 {
+			f.residual[sid] += st.count
+		}
+	}
+	f.sessions = sessions
 	return nil
+}
+
+// resolve caches the backend pointer of each route. Callers have already
+// validated that every target exists.
+func (f *Frontend) resolve(routes []Route) []resolvedRoute {
+	out := make([]resolvedRoute, len(routes))
+	for i, r := range routes {
+		out[i] = resolvedRoute{Route: r, be: f.backends[r.BackendID]}
+	}
+	return out
 }
 
 // Dispatch routes a request to a backend. Requests for sessions without a
 // route are reported unroutable (the admission-control drop path).
 func (f *Frontend) Dispatch(req workload.Request) {
-	routes, ok := f.table[req.Session]
-	if !ok || len(routes) == 0 {
+	st, ok := f.sessions[req.Session]
+	if !ok || len(st.routes) == 0 {
 		f.drop(req, backend.DropUnroutable)
 		return
 	}
-	f.counts[req.Session]++
-	f.send(req, f.pick(req.Session, routes), true)
+	st.count++
+	f.send(req, st.pick(), true)
 }
 
 // send delivers req to route r after the network delay, classifying any
 // enqueue failure. When the target is dead or lost the unit mid-flight and
 // retries are enabled, a first-try request is re-sent once to a surviving
 // replica — but only if its deadline still has room for another hop.
-func (f *Frontend) send(req workload.Request, r Route, firstTry bool) {
-	be := f.backends[r.BackendID]
-	f.clock.After(f.netDelay+f.extraDelay, func() {
-		var err error
-		if be == nil {
-			err = backend.ErrBackendDown
-		} else {
-			err = be.Enqueue(r.UnitID, req)
-		}
-		switch {
-		case err == nil:
-		case errors.Is(err, backend.ErrQueueFull):
-			// Overload is the drop policy's job, not the retry path's:
-			// bouncing the request to another replica would just smear the
-			// hotspot.
-			f.drop(req, backend.DropOverload)
-		default:
-			reason := backend.DropFailure
-			if errors.Is(err, backend.ErrUnitRemoved) {
-				reason = backend.DropReconfig
-			}
-			if f.retry && firstTry {
-				if alt, ok := f.altRoute(req.Session, r.BackendID); ok &&
-					req.Deadline-f.clock.Now() > f.netDelay+f.extraDelay {
-					f.send(req, alt, false)
-					return
-				}
-			}
-			f.drop(req, reason)
-		}
-	})
+func (f *Frontend) send(req workload.Request, r resolvedRoute, firstTry bool) {
+	var p *pendingSend
+	if n := len(f.sendPool); n > 0 {
+		p = f.sendPool[n-1]
+		f.sendPool = f.sendPool[:n-1]
+	} else {
+		p = &pendingSend{f: f}
+		p.fire = p.deliver
+	}
+	p.req, p.r, p.firstTry = req, r, firstTry
+	f.clock.After(f.netDelay+f.extraDelay, p.fire)
 }
 
 // altRoute returns the session's first route to a live backend other than
 // the one that just failed.
-func (f *Frontend) altRoute(session, exclude string) (Route, bool) {
-	for _, r := range f.table[session] {
-		if r.BackendID == exclude {
-			continue
-		}
-		if be := f.backends[r.BackendID]; be != nil && be.Alive() {
-			return r, true
+func (f *Frontend) altRoute(session, exclude string) (resolvedRoute, bool) {
+	if st, ok := f.sessions[session]; ok {
+		for _, r := range st.routes {
+			if r.BackendID == exclude {
+				continue
+			}
+			if r.be != nil && r.be.Alive() {
+				return r, true
+			}
 		}
 	}
-	return Route{}, false
+	return resolvedRoute{}, false
 }
 
 func (f *Frontend) drop(req workload.Request, reason backend.Outcome) {
@@ -227,12 +309,23 @@ func (f *Frontend) RemoveBackend(beID string) int {
 			}
 		}
 		affected++
+		st := f.sessions[sid]
 		if len(keep) == 0 {
 			delete(repaired, sid)
+			if st != nil {
+				if st.count > 0 {
+					f.residual[sid] += st.count
+				}
+				delete(f.sessions, sid)
+			}
 		} else {
 			repaired[sid] = keep
+			fresh := &sessionState{routes: f.resolve(keep), wrr: make([]float64, len(keep))}
+			if st != nil {
+				fresh.count = st.count
+			}
+			f.sessions[sid] = fresh
 		}
-		delete(f.wrr, sid)
 	}
 	if repaired != nil {
 		f.table = repaired
@@ -242,23 +335,20 @@ func (f *Frontend) RemoveBackend(beID string) int {
 
 // pick implements smooth weighted round-robin, which spreads a session's
 // requests across its replicas proportionally and deterministically.
-func (f *Frontend) pick(session string, routes []Route) Route {
-	state, ok := f.wrr[session]
-	if !ok || len(state) != len(routes) {
-		state = make([]float64, len(routes))
-		f.wrr[session] = state
-	}
+func (st *sessionState) pick() resolvedRoute {
+	state := st.wrr
 	var total float64
 	best := 0
-	for i, r := range routes {
-		state[i] += r.Weight
-		total += r.Weight
+	for i := range st.routes {
+		w := st.routes[i].Weight
+		state[i] += w
+		total += w
 		if state[i] > state[best] {
 			best = i
 		}
 	}
 	state[best] -= total
-	return routes[best]
+	return st.routes[best]
 }
 
 // ObservedRates returns each session's request rate (req/s) since the last
@@ -266,13 +356,21 @@ func (f *Frontend) pick(session string, routes []Route) Route {
 // statistics from the runtime", §5).
 func (f *Frontend) ObservedRates() map[string]float64 {
 	elapsed := (f.clock.Now() - f.windowFrom).Seconds()
-	rates := make(map[string]float64, len(f.counts))
+	rates := make(map[string]float64, len(f.sessions)+len(f.residual))
 	if elapsed > 0 {
-		for sid, n := range f.counts {
+		for sid, st := range f.sessions {
+			if st.count > 0 {
+				rates[sid] = float64(st.count) / elapsed
+			}
+		}
+		for sid, n := range f.residual {
 			rates[sid] = float64(n) / elapsed
 		}
 	}
-	f.counts = make(map[string]uint64)
+	for _, st := range f.sessions {
+		st.count = 0
+	}
+	f.residual = make(map[string]uint64)
 	f.windowFrom = f.clock.Now()
 	return rates
 }

@@ -109,13 +109,15 @@ func TestWeightedSpread(t *testing.T) {
 
 func TestSmoothWRRExactProportions(t *testing.T) {
 	_, _, fe, _ := setup(t, 2)
-	routes := []Route{
+	if err := fe.SetTable(RoutingTable{"s": {
 		{BackendID: "a", UnitID: "u", Weight: 3},
 		{BackendID: "b", UnitID: "u", Weight: 1},
+	}}); err != nil {
+		t.Fatal(err)
 	}
 	counts := map[string]int{}
 	for i := 0; i < 400; i++ {
-		r := fe.pick("s", routes)
+		r := fe.sessions["s"].pick()
 		counts[r.BackendID]++
 	}
 	if counts["a"] != 300 || counts["b"] != 100 {

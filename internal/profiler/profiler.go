@@ -80,7 +80,35 @@ type Profile struct {
 	// points, when non-empty, overrides the linear model for b <= len:
 	// points[b-1] is the measured latency at batch size b.
 	points []time.Duration
+
+	// lat is the dense memo table built by memoize: lat[b-1] = ℓ(b) for
+	// b in 1..MaxBatch. Dispatch, drop policies, and squishy packing call
+	// BatchLatency/MaxBatchWithin per request and per session per epoch;
+	// the table turns those lookups into array reads. It is built once
+	// (Validate and every profile-deriving constructor) and read-only
+	// afterwards, so profiles stay safe to share across concurrent sweep
+	// cells. Hand-built literals that never validate keep lat nil and fall
+	// back to computing.
+	lat []time.Duration
 }
+
+// memoize (re)builds the dense latency table from the underlying model.
+// Callers that mutate Alpha/Beta/points after memoizing must call it again.
+func (p *Profile) memoize() {
+	if p.MaxBatch < 1 || p.MaxBatch > maxMemoBatch {
+		p.lat = nil
+		return
+	}
+	lat := make([]time.Duration, p.MaxBatch)
+	for b := 1; b <= p.MaxBatch; b++ {
+		lat[b-1] = p.rawBatchLatency(b)
+	}
+	p.lat = lat
+}
+
+// maxMemoBatch bounds the memo table so absurd MaxBatch values cannot
+// balloon memory; beyond it every lookup computes directly, as before.
+const maxMemoBatch = 1 << 16
 
 // Validate checks profile invariants: positive costs, a usable batch range,
 // and the monotonicity assumptions §6.1 relies on (latency non-decreasing
@@ -98,6 +126,7 @@ func (p *Profile) Validate() error {
 	if p.Beta < 0 {
 		return fmt.Errorf("profile %s/%s: negative beta", p.ModelID, p.GPU)
 	}
+	p.memoize()
 	prev := time.Duration(0)
 	prevPerItem := math.Inf(1)
 	for b := 1; b <= p.MaxBatch; b++ {
@@ -124,6 +153,15 @@ func (p *Profile) BatchLatency(b int) time.Duration {
 	if b < 1 {
 		panic(fmt.Sprintf("profile %s: BatchLatency(%d)", p.ModelID, b))
 	}
+	if b <= len(p.lat) {
+		return p.lat[b-1]
+	}
+	return p.rawBatchLatency(b)
+}
+
+// rawBatchLatency computes ℓ(b) from the point table or the linear model,
+// bypassing the memo table (which it is also used to build).
+func (p *Profile) rawBatchLatency(b int) time.Duration {
 	if n := len(p.points); n > 0 {
 		if b <= n {
 			return p.points[b-1]
@@ -182,6 +220,7 @@ func (p *Profile) WithPoints(points []time.Duration) *Profile {
 	if len(q.points) > 0 {
 		q.MaxBatch = len(q.points)
 	}
+	q.memoize()
 	return &q
 }
 
@@ -230,6 +269,8 @@ func (p *Profile) Split(flopFrac float64) (prefix, suffix Profile) {
 	// prefix, postproc after the suffix.
 	prefix.PostprocCPU = 0
 	suffix.PreprocCPU = 0
+	prefix.memoize()
+	suffix.memoize()
 	return prefix, suffix
 }
 
@@ -249,6 +290,7 @@ func (p *Profile) WithCPUOverhead(perItem time.Duration) *Profile {
 			q.points[i] = v + time.Duration(i+1)*perItem
 		}
 	}
+	q.memoize()
 	return &q
 }
 

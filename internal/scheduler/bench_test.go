@@ -1,0 +1,61 @@
+package scheduler
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"nexus/internal/profiler"
+)
+
+// benchWorkload builds a production-scale scheduling input: nModels linear
+// batching profiles and nSessions sessions with zipf-ish rates and mixed
+// SLOs, the shape §7.4's large-scale experiments stress.
+func benchWorkload(nModels, nSessions int) ([]Session, map[string]*profiler.Profile) {
+	rng := rand.New(rand.NewSource(42))
+	profiles := make(map[string]*profiler.Profile, nModels)
+	for m := 0; m < nModels; m++ {
+		id := fmt.Sprintf("m%03d", m)
+		p := &profiler.Profile{
+			ModelID: id, GPU: profiler.GTX1080Ti,
+			Alpha:    time.Duration(rng.Intn(1500)+200) * time.Microsecond,
+			Beta:     time.Duration(rng.Intn(8)+2) * time.Millisecond,
+			MaxBatch: 64,
+			MemBase:  1 << 28, MemPerItem: 1 << 20,
+		}
+		if err := p.Validate(); err != nil {
+			panic(err)
+		}
+		profiles[id] = p
+	}
+	sessions := make([]Session, nSessions)
+	for s := range sessions {
+		rate := 400 / float64(1+s%37) // heavy head, long tail
+		sessions[s] = Session{
+			ID:      fmt.Sprintf("s%04d", s),
+			ModelID: fmt.Sprintf("m%03d", s%nModels),
+			SLO:     time.Duration(50+25*(s%8)) * time.Millisecond,
+			Rate:    rate,
+		}
+	}
+	return sessions, profiles
+}
+
+// BenchmarkPackLargeScale measures one squishy-bin-packing epoch over a
+// thousand-session cluster — the control-plane hot path that the memoized
+// batch-latency tables accelerate.
+func BenchmarkPackLargeScale(b *testing.B) {
+	sessions, profiles := benchWorkload(40, 1200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := Pack(sessions, profiles, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.GPUCount() == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSimclockTimers measures steady-state schedule/fire churn with
+// the horizon mix a Nexus deployment produces: mostly sub-millisecond and
+// millisecond timers (network hops, batch completions, duty-cycle ticks)
+// with occasional multi-second and far-future ones (epochs, leases), plus
+// a cancelled timer every few fires for the Stop path.
+func BenchmarkSimclockTimers(b *testing.B) {
+	offsets := make([]time.Duration, 1024)
+	for i := range offsets {
+		switch i % 8 {
+		case 0:
+			offsets[i] = 0 // same-tick cascade
+		case 1, 2:
+			offsets[i] = time.Duration(i%7) * 100 * time.Microsecond
+		case 3, 4, 5:
+			offsets[i] = time.Duration(i%13+1) * time.Millisecond
+		case 6:
+			offsets[i] = time.Duration(i%5+1) * time.Second
+		default:
+			offsets[i] = time.Duration(i%3+1) * time.Minute // far overflow
+		}
+	}
+	c := New()
+	k := 0
+	var fn func()
+	fn = func() {
+		c.After(offsets[k&1023], fn)
+		if k%4 == 0 { // cancellation churn
+			c.After(offsets[(k+1)&1023], func() {}).Stop()
+		}
+		k++
+	}
+	for i := 0; i < 512; i++ {
+		c.After(offsets[k&1023], fn)
+		k++
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.Step() {
+			b.Fatal("clock drained")
+		}
+	}
+}

@@ -13,29 +13,38 @@
 // Clocks (one per cluster.Deployment) on different goroutines, which is
 // safe precisely because clocks share no state.
 //
-// The scheduling hot path is allocation-light: fired and cancelled events
-// are recycled through a per-clock free list, Timer handles are plain
-// values (a generation counter makes stale handles inert when their event
-// is reused), and the event heap is pre-sized.
+// The scheduling hot path is allocation-light and mostly O(1): timers live
+// in a two-level hierarchical timer wheel (dense short-horizon timers —
+// request hops, batch completions, duty-cycle ticks — append to level-0
+// buckets in constant time) with a binary heap only as overflow for
+// far-future events. A small heap orders the current bucket, so events
+// still fire in exact (timestamp, schedule-order) sequence. Fired and
+// cancelled events are recycled through a per-clock free list, and Timer
+// handles are plain values (a generation counter makes stale handles inert
+// when their event is reused).
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
 
-// initialQueueCap pre-sizes the event heap and free list; busy deployments
-// hold hundreds of in-flight events (one per queued request plus control
-// timers), so this avoids the early growth reallocations on every probe.
-const initialQueueCap = 256
+// Wheel geometry. Level-0 buckets are 2^granuleBits ns wide (~65.5µs), so
+// bucket indices are shifts, not divisions. Each level has 2^slotBits
+// buckets: level 0 spans ~16.8ms, level 1 spans ~4.3s, and everything
+// farther out sits in the overflow heap until its level-1 region opens.
+const (
+	granuleBits = 16
+	slotBits    = 8
+	numSlots    = 1 << slotBits
+	slotMask    = numSlots - 1
+)
 
 // Clock is a discrete-event simulation clock. The zero value is not usable;
 // call New.
 type Clock struct {
-	now   time.Duration
-	queue eventQueue
-	seq   uint64
+	now time.Duration
+	seq uint64
 	// stepped counts executed events, for diagnostics and runaway detection.
 	stepped uint64
 	// limit aborts Run after this many events when non-zero.
@@ -45,6 +54,23 @@ type Clock struct {
 	// free recycles event structs; each reuse bumps the event's generation
 	// so stale Timer handles cannot touch the new occupant.
 	free []*event
+
+	// cur is the absolute level-0 bucket index the cursor has reached:
+	// every live event in a bucket at or before cur is in curHeap, and
+	// level-0 buckets are only populated within (cur, cur+numSlots).
+	cur int64
+	// curHeap holds the events at the cursor, ordered by (at, seq); the
+	// next event to fire is always its top.
+	curHeap eventHeap
+	// level0/level1 are the wheel levels: unsorted buckets indexed by the
+	// (masked) absolute bucket index at that level's granularity.
+	level0 [numSlots][]*event
+	level1 [numSlots][]*event
+	// n0/n1 count events (including cancelled ones) resident in each
+	// level, so the cursor can skip empty spans without scanning.
+	n0, n1 int
+	// far is the overflow heap for events beyond level 1's span.
+	far eventHeap
 }
 
 // Timer is a handle to a scheduled event. It can be cancelled before
@@ -79,7 +105,7 @@ type event struct {
 
 // New returns a clock starting at time zero with an empty event queue.
 func New() *Clock {
-	return &Clock{queue: make(eventQueue, 0, initialQueueCap)}
+	return &Clock{}
 }
 
 // Now returns the current virtual time.
@@ -115,6 +141,36 @@ func (c *Clock) recycle(e *event) {
 	c.free = append(c.free, e)
 }
 
+// bucketOf returns the absolute level-0 bucket index of a timestamp.
+func bucketOf(at time.Duration) int64 { return int64(at) >> granuleBits }
+
+// insert places an event into the wheel tier that covers its timestamp.
+//
+// Level 0 accepts d in [1, numSlots]: bucket cur itself is never stored
+// (those events live in curHeap), so all numSlots positions are distinct.
+// The inclusive upper bound matters for enterRegion — with the cursor
+// parked on the bucket before region r, the region's last bucket is
+// exactly numSlots away and must land in level 0, not back in the level-1
+// bucket being scattered.
+func (c *Clock) insert(e *event) {
+	b0 := bucketOf(e.at)
+	switch d := b0 - c.cur; {
+	case d <= 0:
+		c.curHeap.push(e)
+	case d <= numSlots:
+		c.level0[b0&slotMask] = append(c.level0[b0&slotMask], e)
+		c.n0++
+	default:
+		b1 := b0 >> slotBits
+		if b1-(c.cur>>slotBits) < numSlots {
+			c.level1[b1&slotMask] = append(c.level1[b1&slotMask], e)
+			c.n1++
+		} else {
+			c.far.push(e)
+		}
+	}
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: a discrete-event simulation must never travel backwards, and a
 // past timestamp always indicates a bug in the caller.
@@ -126,7 +182,7 @@ func (c *Clock) At(t time.Duration, fn func()) Timer {
 	e.at, e.seq, e.fn = t, c.seq, fn
 	c.seq++
 	c.live++
-	heap.Push(&c.queue, e)
+	c.insert(e)
 	return Timer{clock: c, ev: e, gen: e.gen}
 }
 
@@ -138,29 +194,134 @@ func (c *Clock) After(d time.Duration, fn func()) Timer {
 	return c.At(c.now+d, fn)
 }
 
-// Step executes the next event, advancing the clock to its timestamp.
-// It reports whether an event was executed (false when the queue is empty).
-func (c *Clock) Step() bool {
-	for len(c.queue) > 0 {
-		e := heap.Pop(&c.queue).(*event)
+// loadBucket moves one level-0 bucket's events into curHeap, recycling
+// cancelled ones on the way.
+func (c *Clock) loadBucket(idx int64) {
+	bucket := c.level0[idx&slotMask]
+	if len(bucket) == 0 {
+		return
+	}
+	c.n0 -= len(bucket)
+	for i, e := range bucket {
+		bucket[i] = nil
 		if e.cancelled {
 			c.recycle(e)
 			continue
 		}
-		c.now = e.at
-		c.stepped++
-		c.live--
-		fn := e.fn
-		// Recycle before running fn: the event is off the heap and fn may
-		// legitimately schedule new events that reuse the struct.
-		c.recycle(e)
-		if c.limit != 0 && c.stepped > c.limit {
-			panic(fmt.Sprintf("simclock: event limit %d exceeded at t=%v", c.limit, c.now))
-		}
-		fn()
-		return true
+		c.curHeap.push(e)
 	}
-	return false
+	c.level0[idx&slotMask] = bucket[:0]
+}
+
+// enterRegion opens level-1 region r: overflow events that now fall within
+// the wheel's span are pulled in, and the region's level-1 bucket is
+// scattered into level-0 buckets. Must be called with the cursor parked on
+// the last bucket before the region (cur == r*numSlots - 1).
+func (c *Clock) enterRegion(r int64) {
+	for len(c.far) > 0 {
+		e := c.far[0]
+		if e.cancelled {
+			c.recycle(c.far.pop())
+			continue
+		}
+		if bucketOf(e.at)>>slotBits > r {
+			break
+		}
+		c.insert(c.far.pop())
+	}
+	bucket := c.level1[r&slotMask]
+	if len(bucket) == 0 {
+		return
+	}
+	c.n1 -= len(bucket)
+	for i, e := range bucket {
+		bucket[i] = nil
+		if e.cancelled {
+			c.recycle(e)
+			continue
+		}
+		c.insert(e)
+	}
+	c.level1[r&slotMask] = bucket[:0]
+}
+
+// advance walks the cursor to the next non-empty bucket, loading it into
+// curHeap. It reports false when no live events remain anywhere.
+func (c *Clock) advance() bool {
+	for {
+		if c.n0 == 0 && c.n1 == 0 {
+			// Only the overflow heap can hold work: jump the cursor next
+			// to its earliest event instead of sweeping empty buckets.
+			for len(c.far) > 0 && c.far[0].cancelled {
+				c.recycle(c.far.pop())
+			}
+			if len(c.far) == 0 {
+				return false
+			}
+			e := c.far.pop()
+			if b0 := bucketOf(e.at) - 1; b0 > c.cur {
+				c.cur = b0
+			}
+			c.insert(e)
+		}
+		start := c.cur + 1
+		if start&slotMask == 0 {
+			c.enterRegion(start >> slotBits)
+		}
+		regionEnd := (start>>slotBits + 1) << slotBits
+		if c.n0 > 0 {
+			for s := start; s < regionEnd; s++ {
+				if len(c.level0[s&slotMask]) == 0 {
+					continue
+				}
+				c.cur = s
+				c.loadBucket(s)
+				if len(c.curHeap) > 0 {
+					return true
+				}
+			}
+		}
+		c.cur = regionEnd - 1
+	}
+}
+
+// peek returns the next live event without firing it, or nil. It may move
+// the wheel cursor forward, which never changes firing order.
+func (c *Clock) peek() *event {
+	for {
+		for len(c.curHeap) > 0 {
+			e := c.curHeap[0]
+			if !e.cancelled {
+				return e
+			}
+			c.recycle(c.curHeap.pop())
+		}
+		if !c.advance() {
+			return nil
+		}
+	}
+}
+
+// Step executes the next event, advancing the clock to its timestamp.
+// It reports whether an event was executed (false when the queue is empty).
+func (c *Clock) Step() bool {
+	e := c.peek()
+	if e == nil {
+		return false
+	}
+	c.curHeap.pop()
+	c.now = e.at
+	c.stepped++
+	c.live--
+	fn := e.fn
+	// Recycle before running fn: the event is out of the wheel and fn may
+	// legitimately schedule new events that reuse the struct.
+	c.recycle(e)
+	if c.limit != 0 && c.stepped > c.limit {
+		panic(fmt.Sprintf("simclock: event limit %d exceeded at t=%v", c.limit, c.now))
+	}
+	fn()
+	return true
 }
 
 // Run executes events until the queue is empty.
@@ -182,17 +343,6 @@ func (c *Clock) RunUntil(t time.Duration) {
 	if t > c.now {
 		c.now = t
 	}
-}
-
-func (c *Clock) peek() *event {
-	for len(c.queue) > 0 {
-		if c.queue[0].cancelled {
-			c.recycle(heap.Pop(&c.queue).(*event))
-			continue
-		}
-		return c.queue[0]
-	}
-	return nil
 }
 
 // Ticker invokes fn every period until stopped. The first invocation is one
@@ -234,31 +384,54 @@ func (t *Ticker) Stop() {
 	t.timer.Stop()
 }
 
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*event
+// eventHeap is a hand-rolled min-heap ordered by (at, seq). It backs the
+// cursor bucket and the far-future overflow; manual sifting avoids the
+// interface boxing of container/heap on the hot path.
+type eventHeap []*event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
 	}
-	return q[i].seq < q[j].seq
+	return h[i].seq < h[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
+func (h *eventHeap) push(e *event) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
 }
 
-func (q *eventQueue) Push(x any) {
-	*q = append(*q, x.(*event))
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+func (h *eventHeap) pop() *event {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < n && q.less(l, small) {
+			small = l
+		}
+		if r := 2*i + 2; r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return top
 }

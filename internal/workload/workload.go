@@ -82,6 +82,9 @@ type Generator struct {
 	until  time.Duration
 	nextID uint64
 	sent   uint64
+	// emitFn is g.emit bound once, so scheduling an arrival does not
+	// allocate a closure per request.
+	emitFn func()
 }
 
 // Start begins emitting requests for session until the given virtual time
@@ -96,6 +99,7 @@ func Start(clock *simclock.Clock, rng *rand.Rand, session string, slo time.Durat
 		Session: session, SLO: slo, Proc: proc,
 		clock: clock, rng: rng, sink: sink, until: until,
 	}
+	g.emitFn = g.emit
 	g.schedule()
 	return g
 }
@@ -112,18 +116,20 @@ func (g *Generator) schedule() {
 	if at >= g.until {
 		return
 	}
-	g.clock.At(at, func() {
-		req := Request{
-			ID:       g.nextID,
-			Session:  g.Session,
-			Arrival:  g.clock.Now(),
-			Deadline: g.clock.Now() + g.SLO,
-		}
-		g.nextID++
-		g.sent++
-		g.sink(req)
-		g.schedule()
-	})
+	g.clock.At(at, g.emitFn)
+}
+
+func (g *Generator) emit() {
+	req := Request{
+		ID:       g.nextID,
+		Session:  g.Session,
+		Arrival:  g.clock.Now(),
+		Deadline: g.clock.Now() + g.SLO,
+	}
+	g.nextID++
+	g.sent++
+	g.sink(req)
+	g.schedule()
 }
 
 // ZipfWeights returns n weights following a Zipf distribution with exponent
