@@ -5,9 +5,12 @@
 //	nexus-benchcmp -baseline results/BENCH_baseline.json -current results/BENCH_pr.json -tolerance 0.10
 //
 // Comparison exits non-zero when any benchmark present in both files shows
-// ns/op or allocs/op above baseline by more than the tolerance. Benchmarks
-// present on only one side are reported but never fail the run, so adding
-// or retiring a benchmark does not break CI.
+// ns/op or allocs/op above baseline by more than the tolerance — and also
+// when a benchmark exists on only one side, or a baseline entry carries a
+// non-positive ns/op. A one-sided benchmark has no meaningful delta, so
+// treating it as passing would let a new (or silently vanished) hot path
+// bypass the regression gate; adding or retiring a benchmark requires
+// regenerating the baseline in the same change.
 package main
 
 import (
@@ -102,14 +105,22 @@ func load(path string) (map[string]Entry, error) {
 	return m, nil
 }
 
-// delta returns the relative change current/base - 1; base <= 0 yields 0
-// (nothing meaningful to compare against).
+// delta returns the relative change current/base - 1. A zero base with a
+// positive current is an unbounded regression (an allocation-free path that
+// started allocating); base and current both zero is no change.
 func delta(base, cur float64) float64 {
 	if base <= 0 {
+		if cur > 0 {
+			return inf
+		}
 		return 0
 	}
 	return cur/base - 1
 }
+
+// inf marks a delta with no meaningful ratio (zero baseline, nonzero
+// current); it always exceeds any tolerance.
+var inf = 1e308
 
 func compare(basePath, curPath string, tolerance float64, w io.Writer) (failed bool, err error) {
 	base, err := load(basePath)
@@ -130,7 +141,17 @@ func compare(basePath, curPath string, tolerance float64, w io.Writer) (failed b
 		b := base[name]
 		c, ok := cur[name]
 		if !ok {
-			fmt.Fprintf(w, "%-40s %15s %15s %15s\n", name, "-", "-", "missing")
+			// No current measurement: a tracked hot path silently vanished
+			// from the run. Passing here would let the gate rot.
+			fmt.Fprintf(w, "%-40s %15s %15s %15s\n", name, "-", "-", "MISSING")
+			failed = true
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			// A zero/negative baseline ns/op means the baseline file is
+			// corrupt or hand-edited; there is nothing to gate against.
+			fmt.Fprintf(w, "%-40s %15s %15s %15s\n", name, "-", "-", "BAD BASELINE")
+			failed = true
 			continue
 		}
 		dNs := delta(b.NsPerOp, c.NsPerOp)
@@ -140,14 +161,31 @@ func compare(basePath, curPath string, tolerance float64, w io.Writer) (failed b
 			verdict = "REGRESSION"
 			failed = true
 		}
-		fmt.Fprintf(w, "%-40s %+14.1f%% %+14.1f%% %15s\n", name, 100*dNs, 100*dAl, verdict)
+		fmt.Fprintf(w, "%-40s %14s%% %14s%% %15s\n", name, pct(dNs), pct(dAl), verdict)
 	}
+	extra := make([]string, 0)
 	for name := range cur {
 		if _, ok := base[name]; !ok {
-			fmt.Fprintf(w, "%-40s %15s %15s %15s\n", name, "-", "-", "new")
+			extra = append(extra, name)
 		}
 	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		// A benchmark with no baseline has no gate at all; fail until the
+		// baseline is regenerated to include it.
+		fmt.Fprintf(w, "%-40s %15s %15s %15s\n", name, "-", "-", "NEW (no baseline)")
+		failed = true
+	}
 	return failed, nil
+}
+
+// pct renders a delta as a signed percentage ("+∞" for the zero-baseline
+// sentinel).
+func pct(d float64) string {
+	if d >= inf {
+		return "+∞"
+	}
+	return fmt.Sprintf("%+.1f", 100*d)
 }
 
 func main() {
@@ -188,7 +226,7 @@ func main() {
 			os.Exit(1)
 		}
 		if failed {
-			fmt.Fprintf(os.Stderr, "nexus-benchcmp: regression beyond %.0f%% tolerance\n", *tolerance*100)
+			fmt.Fprintf(os.Stderr, "nexus-benchcmp: gate failed — regression beyond %.0f%% tolerance, or a benchmark missing from baseline/current\n", *tolerance*100)
 			os.Exit(1)
 		}
 	default:

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, entries []Entry) string {
+	t.Helper()
+	data, err := json.Marshal(Report{Benchmarks: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCompare(t *testing.T, base, cur []Entry, tolerance float64) (bool, string) {
+	t.Helper()
+	dir := t.TempDir()
+	basePath := writeReport(t, dir, "base.json", base)
+	curPath := writeReport(t, dir, "cur.json", cur)
+	var buf bytes.Buffer
+	failed, err := compare(basePath, curPath, tolerance, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return failed, buf.String()
+}
+
+func TestCompareOK(t *testing.T) {
+	base := []Entry{{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 10}}
+	cur := []Entry{{Name: "BenchmarkA", NsPerOp: 1050, AllocsOp: 10}}
+	failed, out := runCompare(t, base, cur, 0.10)
+	if failed {
+		t.Fatalf("within-tolerance run failed:\n%s", out)
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	base := []Entry{{Name: "BenchmarkA", NsPerOp: 1000}}
+	cur := []Entry{{Name: "BenchmarkA", NsPerOp: 1200}}
+	failed, out := runCompare(t, base, cur, 0.10)
+	if !failed || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("20%% ns/op regression passed:\n%s", out)
+	}
+}
+
+// A benchmark absent from the current run must fail: a tracked hot path
+// silently vanishing would otherwise rot the gate.
+func TestCompareMissingFromCurrentFails(t *testing.T) {
+	base := []Entry{{Name: "BenchmarkGone", NsPerOp: 1000}}
+	failed, out := runCompare(t, base, nil, 0.10)
+	if !failed || !strings.Contains(out, "MISSING") {
+		t.Fatalf("benchmark missing from current passed:\n%s", out)
+	}
+}
+
+// A benchmark absent from the baseline must fail too — until the baseline
+// is regenerated, the new benchmark has no gate at all.
+func TestCompareNewWithoutBaselineFails(t *testing.T) {
+	cur := []Entry{{Name: "BenchmarkNew", NsPerOp: 1000}}
+	failed, out := runCompare(t, nil, cur, 0.10)
+	if !failed || !strings.Contains(out, "NEW (no baseline)") {
+		t.Fatalf("benchmark missing from baseline passed:\n%s", out)
+	}
+}
+
+// A zero ns/op baseline entry is corrupt data, not a free pass.
+func TestCompareZeroBaselineFails(t *testing.T) {
+	base := []Entry{{Name: "BenchmarkA", NsPerOp: 0}}
+	cur := []Entry{{Name: "BenchmarkA", NsPerOp: 1000}}
+	failed, out := runCompare(t, base, cur, 0.10)
+	if !failed || !strings.Contains(out, "BAD BASELINE") {
+		t.Fatalf("zero baseline passed:\n%s", out)
+	}
+}
+
+// An allocation-free baseline that starts allocating is an unbounded
+// regression, not delta 0.
+func TestCompareAllocsFromZeroFails(t *testing.T) {
+	base := []Entry{{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 0}}
+	cur := []Entry{{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 5}}
+	failed, out := runCompare(t, base, cur, 0.10)
+	if !failed || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("allocs 0 -> 5 passed:\n%s", out)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	for _, tc := range []struct {
+		base, cur, want float64
+	}{
+		{100, 110, 0.1},
+		{100, 90, -0.1},
+		{0, 0, 0},
+		{0, 1, inf},
+		{-5, 3, inf},
+	} {
+		if got := delta(tc.base, tc.cur); got != tc.want &&
+			!(tc.want != 0 && got > tc.want-1e-12 && got < tc.want+1e-12) {
+			t.Fatalf("delta(%v, %v) = %v, want %v", tc.base, tc.cur, got, tc.want)
+		}
+	}
+}
+
+func TestParseBenchStripsGOMAXPROCS(t *testing.T) {
+	in := strings.NewReader(`
+goos: linux
+BenchmarkDispatchHotPath-8   	       2	3061234567 ns/op	     120 B/op	       3 allocs/op
+BenchmarkOther   	      10	  1000000 ns/op
+PASS
+`)
+	entries, err := parseBench(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Name != "BenchmarkDispatchHotPath" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if entries[0].AllocsOp != 3 || entries[1].NsPerOp != 1000000 {
+		t.Fatalf("entries = %+v", entries)
+	}
+}

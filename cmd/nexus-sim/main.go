@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -33,8 +34,19 @@ func main() {
 	rush := flag.Bool("rush", false, "rush-hour traffic (higher per-frame fan-out)")
 	specPath := flag.String("spec", "", "JSON deployment spec (overrides -app/-system/-gpus)")
 	traceN := flag.Int("trace", 0, "record and print the last N request lifecycle events")
+	traceOut := flag.String("trace-out", "", "write the event trace as JSON to this file (implies tracing)")
+	auditOn := flag.Bool("audit", false, "keep and print the control-plane audit log")
+	auditOut := flag.String("audit-out", "", "write the audit log as JSON to this file (implies -audit)")
 	deferDrops := flag.Bool("defer", false, "serve would-be-dropped requests late at low priority (§5 alternative)")
 	flag.Parse()
+
+	// -trace-out without -trace records into a generously sized ring.
+	if *traceOut != "" && *traceN == 0 {
+		*traceN = 1 << 20
+	}
+	if *auditOut != "" {
+		*auditOn = true
+	}
 
 	var d *cluster.Deployment
 	var err error
@@ -52,7 +64,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runAndReport(d, *duration, *specPath, d.Pool.Capacity())
+		runAndReport(d, *duration, *specPath, d.Pool.Capacity(), *traceOut, *auditOut)
 		return
 	}
 	d, err = cluster.New(cluster.Config{
@@ -63,6 +75,7 @@ func main() {
 		Epoch:         *epoch,
 		FixedCluster:  *fixed,
 		TraceCapacity: *traceN,
+		Audit:         *auditOn,
 		DeferDropped:  *deferDrops,
 	})
 	if err != nil {
@@ -94,11 +107,12 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	runAndReport(d, *duration, fmt.Sprintf("%s/%s", *system, *app), *gpus)
+	runAndReport(d, *duration, fmt.Sprintf("%s/%s", *system, *app), *gpus, *traceOut, *auditOut)
 }
 
 // runAndReport executes the deployment and prints the standard panels.
-func runAndReport(d *cluster.Deployment, duration time.Duration, label string, gpus int) {
+func runAndReport(d *cluster.Deployment, duration time.Duration, label string, gpus int,
+	traceOut, auditOut string) {
 	bad, err := d.Run(duration)
 	if err != nil {
 		log.Fatal(err)
@@ -137,9 +151,43 @@ func runAndReport(d *cluster.Deployment, duration time.Duration, label string, g
 			(i+1)*step, offered/float64(step), g/float64(step), badPct)
 	}
 	if tr := d.Tracer(); tr != nil {
-		fmt.Printf("\n  trace (last %d of %d events):\n", len(tr.Events()), tr.Total())
-		if err := tr.WriteText(os.Stdout); err != nil {
-			log.Fatal(err)
+		if traceOut != "" {
+			if err := writeFile(traceOut, tr.WriteJSON); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\n  trace: %d of %d events written to %s (analyze with nexus-trace)\n",
+				len(tr.Events()), tr.Total(), traceOut)
+		} else {
+			fmt.Printf("\n  trace (last %d of %d events):\n", len(tr.Events()), tr.Total())
+			if err := tr.WriteText(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
+	if a := d.Audit(); a != nil {
+		if auditOut != "" {
+			if err := writeFile(auditOut, a.WriteJSON); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  audit log written to %s\n", auditOut)
+		} else {
+			fmt.Println("\n  control-plane audit log:")
+			if err := a.WriteText(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+// writeFile streams write into path, creating or truncating it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

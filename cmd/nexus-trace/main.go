@@ -1,0 +1,96 @@
+// nexus-trace ingests the observability artifacts a traced run produces —
+// an event trace (nexus-sim -trace-out) and optionally a control-plane
+// audit log (nexus-sim -audit-out) — and prints the breakdowns the paper's
+// evaluation leans on: per-stage latency p50/p99 (dispatch vs. queue vs.
+// GPU vs. total), drop attribution by cause, and per-GPU duty-cycle
+// utilization timelines. It can also re-export the trace in Chrome
+// trace-event format for chrome://tracing / Perfetto.
+//
+//	nexus-sim -app game -rate 300 -trace-out /tmp/trace.json -audit -audit-out /tmp/audit.json
+//	nexus-trace -trace /tmp/trace.json -audit /tmp/audit.json
+//	nexus-trace -trace /tmp/trace.json -chrome /tmp/chrome.json
+//	nexus-trace -trace - < /tmp/trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"nexus/internal/trace"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "event trace JSON ('-' = stdin)")
+	auditPath := flag.String("audit", "", "control-plane audit log JSON (optional)")
+	chromeOut := flag.String("chrome", "", "also export the trace as Chrome trace-event JSON to this file")
+	flag.Parse()
+
+	if *tracePath == "" && *auditPath == "" {
+		fmt.Fprintln(os.Stderr, "nexus-trace: need -trace and/or -audit")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var events []trace.Event
+	if *tracePath != "" {
+		var err error
+		events, err = readEvents(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %d events\n", len(events))
+		if err := trace.Analyze(events).WriteReport(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *auditPath != "" {
+		f, err := os.Open(*auditPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		audit, err := trace.ReadAudit(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("control-plane audit log")
+		if err := audit.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *chromeOut != "" {
+		if events == nil {
+			log.Fatal("nexus-trace: -chrome needs -trace")
+		}
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteChrome(f, events); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("chrome trace written to %s (load in chrome://tracing)\n", *chromeOut)
+	}
+}
+
+func readEvents(path string) ([]trace.Event, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return trace.ReadJSON(r)
+}

@@ -32,9 +32,14 @@ type Config struct {
 	// MaxQueue bounds each unit's queue; Enqueue returns ErrQueueFull at
 	// capacity. 0 = unbounded (the default; the drop policy sheds load).
 	MaxQueue int
-	// OnBatch, when set, observes every batch submitted to the GPU
+	// OnBatch, when set, observes every batch assembled for the GPU, with
+	// the backend's incarnation and the batch's planned GPU latency
 	// (tracing hook; must not mutate the batch).
-	OnBatch func(backendID, unitID string, batch []Request)
+	OnBatch func(backendID, unitID string, batch []Request, inc uint64, gpuTime time.Duration)
+	// OnDropWindow, when set, observes every drop-policy cull: the window
+	// (target batch size) the policy was anchoring and how many queued
+	// requests it shed (audit hook).
+	OnDropWindow func(backendID, unitID string, window, dropped int)
 	// DeferDropped enables the paper's alternative service model (§5):
 	// requests that miss their deadline window are executed later at low
 	// priority instead of being discarded — they complete late (counted
@@ -434,7 +439,11 @@ func (b *Backend) stepRR() {
 		if !u.ready || u.queue.Len() == 0 {
 			continue
 		}
-		batch, dropped := b.cfg.Policy.Pick(&u.queue, b.clock.Now(), b.dynamicTarget(u), u.est)
+		target := b.dynamicTarget(u)
+		batch, dropped := b.cfg.Policy.Pick(&u.queue, b.clock.Now(), target, u.est)
+		if len(dropped) > 0 && b.cfg.OnDropWindow != nil {
+			b.cfg.OnDropWindow(b.ID, u.ID, target, len(dropped))
+		}
 		b.handleDropped(u, dropped)
 		if len(batch) == 0 {
 			continue
@@ -481,7 +490,11 @@ func (b *Backend) stepUnit(u *unitState) {
 	if b.failed || u.running || !u.ready || u.queue.Len() == 0 {
 		return
 	}
-	batch, dropped := b.cfg.Policy.Pick(&u.queue, b.clock.Now(), b.dynamicTarget(u), u.est)
+	target := b.dynamicTarget(u)
+	batch, dropped := b.cfg.Policy.Pick(&u.queue, b.clock.Now(), target, u.est)
+	if len(dropped) > 0 && b.cfg.OnDropWindow != nil {
+		b.cfg.OnDropWindow(b.ID, u.ID, target, len(dropped))
+	}
 	b.handleDropped(u, dropped)
 	if len(batch) == 0 {
 		if u.queue.Len() > 0 {
@@ -610,9 +623,6 @@ func (b *Backend) execute(u *unitState, batch []Request, done func()) {
 	n := len(batch)
 	b.batches++
 	b.items += uint64(n)
-	if b.cfg.OnBatch != nil {
-		b.cfg.OnBatch(b.ID, u.ID, batch)
-	}
 	r := b.newRun()
 	r.u, r.batch, r.done = u, batch, done
 	// Capture the incarnation: if the node crashes while this batch is in
@@ -621,6 +631,9 @@ func (b *Backend) execute(u *unitState, batch []Request, done func()) {
 	// rather than resuming on the restarted node.
 	r.inc = b.inc
 	r.gpu = b.gpuTime(u, batch)
+	if b.cfg.OnBatch != nil {
+		b.cfg.OnBatch(b.ID, u.ID, batch, r.inc, r.gpu)
+	}
 	r.post = b.cpuTime(u.Profile.PostprocCPU, n)
 	r.overlap = b.cfg.Overlap
 	pre := b.cpuTime(u.Profile.PreprocCPU, n)

@@ -62,7 +62,8 @@ type Config struct {
 	NetDelay time.Duration    // one-way frontend<->backend latency (>=0; -1 = default)
 	Seed     int64
 	// Warmup excludes the initial interval from statistics (model loads,
-	// pipeline fill). Default 2s.
+	// pipeline fill). Default 2s; negative means no warmup at all (every
+	// request is measured — useful for trace/metrics reconciliation).
 	Warmup time.Duration
 	// OnEpoch, when set, observes every control-plane epoch (telemetry).
 	OnEpoch func(epoch int, stats scheduler.MoveStats, gpusInUse int)
@@ -72,9 +73,14 @@ type Config struct {
 	// usage should track load (Figure 13).
 	FixedCluster bool
 	// TraceCapacity, when positive, records the last N request lifecycle
-	// events (arrivals, batch executions, completions, drops); read them
-	// via Deployment.Tracer.
+	// events (arrivals, routes, enqueues, batch executions, completions,
+	// drops); read them via Deployment.Tracer. Warmup requests are filtered
+	// out so trace counts agree with the metrics recorder.
 	TraceCapacity int
+	// Audit, when true, keeps the control-plane audit log: per-epoch
+	// placement records, query budget splits, and early-drop window
+	// decisions; read it via Deployment.Audit.
+	Audit bool
 	// DeferDropped switches Nexus to the paper's alternative service model
 	// (§5): requests that miss their deadline window run later at low
 	// priority instead of being discarded.
@@ -162,6 +168,8 @@ type Deployment struct {
 
 	// tracer records request lifecycle events when enabled (nil = off).
 	tracer *trace.Tracer
+	// audit holds the control-plane audit log when enabled (nil = off).
+	audit *trace.Audit
 }
 
 type sessionLoad struct {
@@ -205,6 +213,8 @@ func New(cfg Config) (*Deployment, error) {
 	}
 	if cfg.Warmup == 0 {
 		cfg.Warmup = 2 * time.Second
+	} else if cfg.Warmup < 0 {
+		cfg.Warmup = 0
 	}
 	mdb := model.Catalog()
 	d := &Deployment{
@@ -225,6 +235,22 @@ func New(cfg Config) (*Deployment, error) {
 	}
 	if cfg.TraceCapacity > 0 {
 		d.tracer = trace.New(cfg.TraceCapacity)
+		// Warmup traffic is excluded from metrics; filter it out of the
+		// trace too, so per-cause event counts reconcile exactly with the
+		// recorder. Standalone warmup requests sit in d.ignored while in
+		// flight; warmup query stages are tracked with a blank query name.
+		d.tracer.SetFilter(func(e trace.Event) bool {
+			if _, warm := d.ignored[e.ReqID]; warm {
+				return false
+			}
+			if qi, ok := d.queryTrack[e.ReqID]; ok && qi.queryName == "" {
+				return false
+			}
+			return true
+		})
+	}
+	if cfg.Audit {
+		d.audit = trace.NewAudit()
 	}
 	if cfg.SessionTimelines {
 		d.sessGood = make(map[string]*metrics.TimeSeries)
@@ -235,17 +261,30 @@ func New(cfg Config) (*Deployment, error) {
 	}
 	beCfg, devMode := d.runtimeConfig()
 	if d.tracer != nil {
-		beCfg.OnBatch = func(backendID, unitID string, batch []backend.Request) {
+		beCfg.OnBatch = func(backendID, unitID string, batch []backend.Request, inc uint64, gpuTime time.Duration) {
 			for _, r := range batch {
 				d.tracer.Record(trace.Event{
 					At: d.Clock.Now(), Kind: trace.Execute, ReqID: r.ID,
-					Session: r.Session, Backend: backendID, Unit: unitID, Batch: len(batch),
+					Session: r.Session, Backend: backendID, Unit: unitID,
+					Batch: len(batch), Dur: gpuTime, Inc: inc,
 				})
 			}
 		}
 	}
+	if d.audit != nil {
+		beCfg.OnDropWindow = func(backendID, unitID string, window, dropped int) {
+			d.audit.RecordDropWindow(trace.DropWindowRecord{
+				AtMS: trace.MS(d.Clock.Now()), Backend: backendID, Unit: unitID,
+				Window: window, Dropped: dropped,
+			})
+		}
+	}
 	beCfg.MaxQueue = cfg.MaxQueue
-	d.Pool = NewPool(d.Clock, cfg.GPUs, cfg.GPU, devMode, beCfg, d.onRequestDone)
+	d.Pool = NewPool(d.Clock, cfg.GPUs, cfg.GPU, devMode, beCfg, func(beID string) backend.CompletionFunc {
+		return func(req workload.Request, outcome backend.Outcome, at time.Duration) {
+			d.requestDone(req, outcome, at, beID)
+		}
+	})
 	nFE := cfg.Frontends
 	if nFE < 1 {
 		nFE = 1
@@ -255,8 +294,11 @@ func New(cfg Config) (*Deployment, error) {
 			if reason == backend.DropUnroutable {
 				d.unroutable++
 			}
-			d.onRequestDone(req, reason, d.Clock.Now())
+			// Frontend drops never reached a backend; attribution stays
+			// empty and the cause identifies the admission path.
+			d.requestDone(req, reason, d.Clock.Now(), "")
 		})
+		fe.SetTracer(d.tracer)
 		if cfg.RetryFailures {
 			fe.EnableRetry()
 		}
@@ -301,6 +343,10 @@ func (d *Deployment) rebuildProfiles() error {
 // Tracer returns the deployment's lifecycle tracer (nil unless enabled
 // via Config.TraceCapacity).
 func (d *Deployment) Tracer() *trace.Tracer { return d.tracer }
+
+// Audit returns the control-plane audit log (nil unless enabled via
+// Config.Audit).
+func (d *Deployment) Audit() *trace.Audit { return d.audit }
 
 // runtimeConfig maps the system kind to backend behaviour (§7.2).
 func (d *Deployment) runtimeConfig() (backend.Config, gpusim.Mode) {
@@ -391,6 +437,7 @@ func (d *Deployment) controlConfig() globalsched.Config {
 	cfg.Heartbeat = d.cfg.Heartbeat
 	cfg.LeaseMisses = d.cfg.LeaseMisses
 	cfg.OnFailure = d.cfg.OnFailure
+	cfg.Audit = d.audit
 	return cfg
 }
 
@@ -546,36 +593,34 @@ func (d *Deployment) nextID() uint64 {
 
 func (d *Deployment) dispatchStandalone(r workload.Request) {
 	r.ID = d.nextID()
-	d.tracer.Record(trace.Event{At: d.Clock.Now(), Kind: trace.Arrive, ReqID: r.ID, Session: r.Session})
 	if d.collecting {
 		d.Recorder.Session(r.Session).Sent++
 		d.Arrivals.Add(d.Clock.Now(), 1)
 	} else {
 		// Still count it as in-flight work but not in stats: mark by
-		// tracking zero; simplest is to tag via map of ignored IDs.
+		// tracking zero; simplest is to tag via map of ignored IDs. Marked
+		// before recording, so the tracer's warmup filter sees it.
 		d.ignored[r.ID] = struct{}{}
 	}
+	d.tracer.Record(trace.Event{At: d.Clock.Now(), Kind: trace.Arrive, ReqID: r.ID, Session: r.Session})
 	d.dispatch(r)
 }
 
-// onRequestDone is the single completion sink for all backends and the
-// frontend's drop path.
-func (d *Deployment) onRequestDone(req workload.Request, outcome backend.Outcome, at time.Duration) {
+// requestDone is the single completion sink for all backends and the
+// frontend's drop path. beID names the backend that reported the outcome
+// ("" for frontend-side drops that never reached one).
+func (d *Deployment) requestDone(req workload.Request, outcome backend.Outcome, at time.Duration, beID string) {
 	if _, skip := d.ignored[req.ID]; skip {
 		delete(d.ignored, req.ID)
 		return
 	}
 	if qi, ok := d.queryTrack[req.ID]; ok {
 		delete(d.queryTrack, req.ID)
-		d.stageDone(qi, req, outcome, at)
+		d.stageDone(qi, req, outcome, at, beID)
 		return
 	}
 	s := d.Recorder.Session(req.Session)
-	if outcome.Bad() {
-		d.tracer.Record(trace.Event{At: at, Kind: trace.Drop, ReqID: req.ID, Session: req.Session, Detail: outcome.String()})
-	} else {
-		d.tracer.Record(trace.Event{At: at, Kind: trace.Complete, ReqID: req.ID, Session: req.Session})
-	}
+	d.traceDone(req, outcome, at, beID)
 	bad := true
 	switch {
 	case outcome.Bad():
@@ -593,6 +638,22 @@ func (d *Deployment) onRequestDone(req workload.Request, outcome backend.Outcome
 		bad = false
 	}
 	d.markTimeline(req.Session, bad, at)
+}
+
+// traceDone records a request's terminal trace event: a Drop carrying its
+// cause (the outcome taxonomy name) and the backend that reported it, or a
+// Complete. Dur is total time in system.
+func (d *Deployment) traceDone(req workload.Request, outcome backend.Outcome, at time.Duration, beID string) {
+	if d.tracer == nil {
+		return
+	}
+	if outcome.Bad() {
+		d.tracer.Record(trace.Event{At: at, Kind: trace.Drop, ReqID: req.ID, Session: req.Session,
+			Backend: beID, Cause: outcome.String(), Dur: at - req.Arrival})
+	} else {
+		d.tracer.Record(trace.Event{At: at, Kind: trace.Complete, ReqID: req.ID, Session: req.Session,
+			Backend: beID, Dur: at - req.Arrival})
+	}
 }
 
 // countLoss increments the loss counter matching the outcome.

@@ -19,7 +19,10 @@ type Pool struct {
 	gpu      profiler.GPUType
 	mode     gpusim.Mode
 	beCfg    backend.Config
-	onDone   backend.CompletionFunc
+	// onDone builds each backend's completion sink, closing over the
+	// backend ID so completions and drops attribute to the node that
+	// reported them.
+	onDone func(beID string) backend.CompletionFunc
 
 	next     int
 	backends map[string]*backend.Backend // in use; shared with the frontend
@@ -31,7 +34,7 @@ type Pool struct {
 
 // NewPool creates a pool of up to capacity GPUs of the given type.
 func NewPool(clock *simclock.Clock, capacity int, gpu profiler.GPUType, mode gpusim.Mode,
-	beCfg backend.Config, onDone backend.CompletionFunc) *Pool {
+	beCfg backend.Config, onDone func(beID string) backend.CompletionFunc) *Pool {
 	return &Pool{
 		clock: clock, capacity: capacity, gpu: gpu, mode: mode,
 		beCfg: beCfg, onDone: onDone,
@@ -55,7 +58,11 @@ func (p *Pool) Acquire() (string, *backend.Backend, error) {
 	id := fmt.Sprintf("be%d", p.next)
 	p.next++
 	dev := gpusim.New(p.clock, "gpu-"+id, p.gpu, p.mode)
-	be := backend.New(id, p.clock, dev, p.beCfg, p.onDone)
+	var done backend.CompletionFunc
+	if p.onDone != nil {
+		done = p.onDone(id)
+	}
+	be := backend.New(id, p.clock, dev, p.beCfg, done)
 	p.backends[id] = be
 	return id, be, nil
 }

@@ -41,20 +41,22 @@ func (d *Deployment) dispatchStage(qi *queryInstance, session string) {
 		Arrival:  d.Clock.Now(),
 		Deadline: qi.deadline,
 	}
-	d.tracer.Record(trace.Event{At: d.Clock.Now(), Kind: trace.Arrive, ReqID: req.ID, Session: session})
+	// Track before recording: the tracer's warmup filter identifies warmup
+	// query stages through the tracking entry.
 	qi.outstanding++
 	d.queryTrack[req.ID] = qi
+	d.tracer.Record(trace.Event{At: d.Clock.Now(), Kind: trace.Arrive, ReqID: req.ID, Session: session})
 	d.dispatch(req)
 }
 
-// stageDone handles completion of one stage invocation.
-func (d *Deployment) stageDone(qi *queryInstance, req workload.Request, outcome backend.Outcome, at time.Duration) {
+// stageDone handles completion of one stage invocation. beID names the
+// backend that reported it ("" for frontend-side drops).
+func (d *Deployment) stageDone(qi *queryInstance, req workload.Request, outcome backend.Outcome, at time.Duration, beID string) {
 	qi.outstanding--
 	lost := outcome.Bad()
-	if lost {
-		d.tracer.Record(trace.Event{At: at, Kind: trace.Drop, ReqID: req.ID, Session: req.Session, Detail: outcome.String()})
-	} else {
-		d.tracer.Record(trace.Event{At: at, Kind: trace.Complete, ReqID: req.ID, Session: req.Session})
+	if qi.queryName != "" {
+		// Warmup instances stay out of the trace, mirroring the metrics.
+		d.traceDone(req, outcome, at, beID)
 	}
 	// Per-stage accounting (stage sessions also show up in the recorder).
 	if qi.queryName != "" {

@@ -14,6 +14,7 @@ import (
 
 	"nexus/internal/backend"
 	"nexus/internal/simclock"
+	"nexus/internal/trace"
 	"nexus/internal/workload"
 )
 
@@ -89,6 +90,10 @@ type Frontend struct {
 	// onDrop observes requests the frontend loses, with the reason.
 	onDrop DropFunc
 
+	// tracer, when set, records Route (backend picked) and Enqueue (request
+	// entered the target unit's queue after the network hop) span events.
+	tracer *trace.Tracer
+
 	// Rate observation for the control plane. Live sessions count in their
 	// sessionState; residual holds counts of sessions whose routes were
 	// removed mid-window, so their traffic still shows in ObservedRates.
@@ -124,6 +129,14 @@ func (p *pendingSend) deliver() {
 	}
 	switch {
 	case err == nil:
+		if f.tracer != nil {
+			now := f.clock.Now()
+			f.tracer.Record(trace.Event{
+				At: now, Kind: trace.Enqueue, ReqID: req.ID,
+				Session: req.Session, Backend: r.BackendID, Unit: r.UnitID,
+				Dur: now - req.Arrival,
+			})
+		}
 	case errors.Is(err, backend.ErrQueueFull):
 		// Overload is the drop policy's job, not the retry path's:
 		// bouncing the request to another replica would just smear the
@@ -173,6 +186,9 @@ func (f *Frontend) NetDelay() time.Duration { return f.netDelay }
 // its target crashed or lost the unit is re-sent to a surviving replica,
 // provided the request's deadline still has room for another network hop.
 func (f *Frontend) EnableRetry() { f.retry = true }
+
+// SetTracer attaches a span tracer; nil detaches it.
+func (f *Frontend) SetTracer(t *trace.Tracer) { f.tracer = t }
 
 // SetExtraDelay injects a network-delay spike of d on top of the base
 // dispatch latency for every subsequent hop; d ≤ 0 clears it.
@@ -238,7 +254,14 @@ func (f *Frontend) Dispatch(req workload.Request) {
 		return
 	}
 	st.count++
-	f.send(req, st.pick(), true)
+	r := st.pick()
+	if f.tracer != nil {
+		f.tracer.Record(trace.Event{
+			At: f.clock.Now(), Kind: trace.Route, ReqID: req.ID,
+			Session: req.Session, Backend: r.BackendID, Unit: r.UnitID,
+		})
+	}
+	f.send(req, r, true)
 }
 
 // send delivers req to route r after the network delay, classifying any

@@ -19,6 +19,7 @@ import (
 	"nexus/internal/queryopt"
 	"nexus/internal/scheduler"
 	"nexus/internal/simclock"
+	"nexus/internal/trace"
 )
 
 // Pool grants and reclaims backend GPUs (the cluster resource manager the
@@ -102,6 +103,9 @@ type Config struct {
 	LeaseMisses int
 	// OnFailure, when set, observes every declared backend failure.
 	OnFailure func(backendID string, at time.Duration)
+	// Audit, when set, receives per-epoch placement records and query
+	// budget splits (the control-plane audit log).
+	Audit *trace.Audit
 }
 
 // DefaultPlanningSlack covers round-trip dispatch latency plus margin.
@@ -414,10 +418,41 @@ func (s *Scheduler) RunEpoch() error {
 		return err
 	}
 	s.prevPlan = plan
+	s.auditEpoch(plan)
 	if s.cfg.OnEpoch != nil {
 		s.cfg.OnEpoch(s.epochs, s.lastStats, s.pool.InUse())
 	}
 	return nil
+}
+
+// auditEpoch records the applied plan's placements in the audit log: one
+// record per plan node with its duty cycle, occupancy, replica backends,
+// and the per-session allocations (including merged-duty-cycle membership
+// for prefix groups).
+func (s *Scheduler) auditEpoch(plan *scheduler.Plan) {
+	if s.cfg.Audit == nil {
+		return
+	}
+	now := trace.MS(s.clock.Now())
+	profiles := s.planProfiles()
+	for _, g := range plan.GPUs {
+		rec := trace.PlacementRecord{
+			Epoch: s.epochs, AtMS: now, Node: g.ID,
+			Backends:  append([]string(nil), s.nodeBackend[g.ID]...),
+			DutyMS:    trace.MS(g.Duty),
+			Saturated: g.Saturated,
+		}
+		if occ, err := g.Occupancy(profiles); err == nil {
+			rec.Occupancy = occ
+		}
+		for _, a := range g.Allocs {
+			rec.Units = append(rec.Units, trace.PlacedUnit{
+				Unit: a.SessionID, Session: a.SessionID, Batch: a.Batch, Rate: a.Rate,
+				Members: append([]string(nil), s.groups[a.SessionID]...),
+			})
+		}
+		s.cfg.Audit.RecordPlacement(rec)
+	}
 }
 
 // observeRates folds the frontends' observed rates into the EWMA state.
@@ -566,6 +601,20 @@ func (s *Scheduler) querySessions(qs QuerySpec) ([]scheduler.Session, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if s.cfg.Audit != nil {
+		method := "even"
+		if s.cfg.QueryAnalysis {
+			method = "dp"
+		}
+		budgets := make(map[string]float64, len(split.Budgets))
+		for stage, b := range split.Budgets {
+			budgets[stage] = trace.MS(b)
+		}
+		s.cfg.Audit.RecordSplit(trace.SplitRecord{
+			Epoch: s.epochs, Query: q.Name, Method: method,
+			GPUs: split.GPUs, Budgets: budgets,
+		})
 	}
 	sessions, serr := queryopt.Sessions(adapted, rootRate, split)
 	if serr != nil {

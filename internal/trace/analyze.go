@@ -1,0 +1,272 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// StageStats summarizes one latency stage across requests.
+type StageStats struct {
+	Count int
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// GPUSlot is one second of a unit's duty-cycle timeline: how much GPU time
+// the unit's batches occupied within that wall-clock second.
+type GPUSlot struct {
+	Second int // simulation second (floor(At / 1s))
+	Busy   time.Duration
+}
+
+// UnitTimeline is one execution unit's utilization timeline.
+type UnitTimeline struct {
+	Backend string
+	Unit    string
+	Batches int
+	Slots   []GPUSlot
+}
+
+// Analysis is the digest nexus-trace prints: per-stage latency breakdowns
+// reconstructed from request spans, drop attribution by cause, and per-GPU
+// duty-cycle utilization.
+type Analysis struct {
+	Requests  int // requests with an Arrive event retained
+	Completed int
+	Dropped   int
+
+	// Stage breakdowns over completed requests. Dispatch is arrival →
+	// enqueue (frontend routing + network hop), Queue is enqueue → batch
+	// submission, GPU is batch submission → completion (execute + reply
+	// hop), Total is arrival → completion.
+	Dispatch StageStats
+	Queue    StageStats
+	GPU      StageStats
+	Total    StageStats
+
+	// DropsByCause counts Drop events per cause (outcome taxonomy).
+	DropsByCause map[string]int
+
+	// Timelines is per-unit GPU utilization, sorted by backend then unit.
+	Timelines []UnitTimeline
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func makeStats(samples []time.Duration) StageStats {
+	if len(samples) == 0 {
+		return StageStats{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return StageStats{
+		Count: len(samples),
+		P50:   quantile(samples, 0.50),
+		P99:   quantile(samples, 0.99),
+		Max:   samples[len(samples)-1],
+	}
+}
+
+// Analyze reconstructs per-request spans from a flat event stream. Requests
+// missing their Arrive event (evicted by ring wraparound) are excluded from
+// stage stats; Drop events always count toward attribution.
+func Analyze(events []Event) *Analysis {
+	a := &Analysis{DropsByCause: make(map[string]int)}
+
+	type span struct {
+		arrive, enqueue, execute time.Duration
+		hasEnqueue, hasExecute   bool
+	}
+	spans := make(map[uint64]*span)
+	var dispatch, queue, gpu, total []time.Duration
+
+	type unitKey struct{ backend, unit string }
+	type batchKey struct {
+		unitKey
+		at  time.Duration
+		inc uint64
+	}
+	seenBatch := map[batchKey]bool{}
+	busy := map[unitKey]map[int]time.Duration{}
+	batches := map[unitKey]int{}
+
+	for _, e := range events {
+		switch e.Kind {
+		case Arrive:
+			a.Requests++
+			spans[e.ReqID] = &span{arrive: e.At}
+		case Enqueue:
+			if s, ok := spans[e.ReqID]; ok {
+				s.enqueue, s.hasEnqueue = e.At, true
+			}
+		case Execute:
+			if s, ok := spans[e.ReqID]; ok {
+				s.execute, s.hasExecute = e.At, true
+			}
+			uk := unitKey{e.Backend, e.Unit}
+			bk := batchKey{uk, e.At, e.Inc}
+			if !seenBatch[bk] {
+				seenBatch[bk] = true
+				batches[uk]++
+				if busy[uk] == nil {
+					busy[uk] = map[int]time.Duration{}
+				}
+				// Spread the batch's GPU time across the seconds it spans.
+				start, remaining := e.At, e.Dur
+				for remaining > 0 {
+					sec := int(start / time.Second)
+					end := time.Duration(sec+1) * time.Second
+					chunk := remaining
+					if start+chunk > end {
+						chunk = end - start
+					}
+					busy[uk][sec] += chunk
+					start += chunk
+					remaining -= chunk
+				}
+			}
+		case Complete:
+			a.Completed++
+			s, ok := spans[e.ReqID]
+			if !ok {
+				continue
+			}
+			total = append(total, e.At-s.arrive)
+			if s.hasEnqueue {
+				dispatch = append(dispatch, s.enqueue-s.arrive)
+				if s.hasExecute {
+					queue = append(queue, s.execute-s.enqueue)
+					gpu = append(gpu, e.At-s.execute)
+				}
+			}
+			delete(spans, e.ReqID)
+		case Drop:
+			a.Dropped++
+			cause := e.Cause
+			if cause == "" {
+				cause = "unknown"
+			}
+			a.DropsByCause[cause]++
+			delete(spans, e.ReqID)
+		}
+	}
+
+	a.Dispatch = makeStats(dispatch)
+	a.Queue = makeStats(queue)
+	a.GPU = makeStats(gpu)
+	a.Total = makeStats(total)
+
+	units := make([]unitKey, 0, len(batches))
+	for uk := range batches {
+		units = append(units, uk)
+	}
+	sort.Slice(units, func(i, j int) bool {
+		if units[i].backend != units[j].backend {
+			return units[i].backend < units[j].backend
+		}
+		return units[i].unit < units[j].unit
+	})
+	for _, uk := range units {
+		tl := UnitTimeline{Backend: uk.backend, Unit: uk.unit, Batches: batches[uk]}
+		secs := make([]int, 0, len(busy[uk]))
+		for s := range busy[uk] {
+			secs = append(secs, s)
+		}
+		sort.Ints(secs)
+		for _, s := range secs {
+			tl.Slots = append(tl.Slots, GPUSlot{Second: s, Busy: busy[uk][s]})
+		}
+		a.Timelines = append(a.Timelines, tl)
+	}
+	return a
+}
+
+func fmtStage(w io.Writer, name string, s StageStats) error {
+	_, err := fmt.Fprintf(w, "  %-10s n=%-7d p50=%-12v p99=%-12v max=%v\n",
+		name, s.Count, s.P50, s.P99, s.Max)
+	return err
+}
+
+// WriteReport prints the analysis: stage breakdown, drop attribution, and
+// per-unit utilization timelines.
+func (a *Analysis) WriteReport(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "requests: %d arrived, %d completed, %d dropped\n",
+		a.Requests, a.Completed, a.Dropped); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "stage latency (completed requests)"); err != nil {
+		return err
+	}
+	for _, st := range []struct {
+		name  string
+		stats StageStats
+	}{
+		{"dispatch", a.Dispatch}, {"queue", a.Queue},
+		{"gpu+reply", a.GPU}, {"total", a.Total},
+	} {
+		if err := fmtStage(w, st.name, st.stats); err != nil {
+			return err
+		}
+	}
+	if len(a.DropsByCause) > 0 {
+		if _, err := fmt.Fprintln(w, "drop attribution"); err != nil {
+			return err
+		}
+		causes := make([]string, 0, len(a.DropsByCause))
+		for c := range a.DropsByCause {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		for _, c := range causes {
+			if _, err := fmt.Fprintf(w, "  %-12s %d\n", c, a.DropsByCause[c]); err != nil {
+				return err
+			}
+		}
+	}
+	if len(a.Timelines) > 0 {
+		if _, err := fmt.Fprintln(w, "gpu utilization (per unit, per second)"); err != nil {
+			return err
+		}
+		for _, tl := range a.Timelines {
+			if _, err := fmt.Fprintf(w, "  %s/%s batches=%d\n", tl.Backend, tl.Unit, tl.Batches); err != nil {
+				return err
+			}
+			for _, slot := range tl.Slots {
+				util := float64(slot.Busy) / float64(time.Second)
+				if _, err := fmt.Fprintf(w, "    [%3ds] %5.1f%% %s\n",
+					slot.Second, util*100, bar(util)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// bar renders a 0..1 utilization as a 20-char gauge.
+func bar(util float64) string {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	n := int(util*20 + 0.5)
+	out := make([]byte, 20)
+	for i := range out {
+		if i < n {
+			out[i] = '#'
+		} else {
+			out[i] = '.'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// PlacedUnit is one session allocation inside a placement record: the
+// execution unit serving the session, its planned batch size and rate
+// share, and — for merged duty cycles (§6.1) — the member sessions sharing
+// the unit's round.
+type PlacedUnit struct {
+	Unit    string   `json:"unit"`
+	Session string   `json:"session"`
+	Batch   int      `json:"batch"`
+	Rate    float64  `json:"rate"`
+	Members []string `json:"members,omitempty"`
+}
+
+// PlacementRecord is one plan node of an epoch's squishy-bin-packing
+// output: which backends replicate the node, the node's duty cycle and
+// occupancy, and the per-session allocations packed onto it.
+type PlacementRecord struct {
+	Epoch     int          `json:"epoch"`
+	AtMS      float64      `json:"at_ms"`
+	Node      string       `json:"node"`
+	Backends  []string     `json:"backends,omitempty"`
+	DutyMS    float64      `json:"duty_ms"`
+	Occupancy float64      `json:"occupancy"`
+	Saturated bool         `json:"saturated,omitempty"`
+	Units     []PlacedUnit `json:"units"`
+}
+
+// SplitRecord is one query's latency-SLO split for an epoch (§6.2): how the
+// end-to-end budget was divided across the query's stages and the total
+// GPU demand the split implies.
+type SplitRecord struct {
+	Epoch   int                `json:"epoch"`
+	Query   string             `json:"query"`
+	Method  string             `json:"method"` // "dp" (queryopt) or "even"
+	GPUs    float64            `json:"gpus"`
+	Budgets map[string]float64 `json:"budgets_ms"`
+}
+
+// DropWindowRecord is one early-drop decision (§4.3): the drop policy
+// inspected a unit's queue and culled a window of requests that could no
+// longer meet their deadlines.
+type DropWindowRecord struct {
+	AtMS    float64 `json:"at_ms"`
+	Backend string  `json:"backend"`
+	Unit    string  `json:"unit"`
+	Window  int     `json:"window"`
+	Dropped int     `json:"dropped"`
+}
+
+// maxDropWindows bounds the early-drop record list; placements and splits
+// are bounded by epochs × sessions, but drop windows are data-plane events.
+const maxDropWindows = 1 << 16
+
+// Audit is the control-plane audit log. Like Tracer, a nil *Audit is a
+// valid no-op, so the scheduler records unconditionally.
+type Audit struct {
+	placements  []PlacementRecord
+	splits      []SplitRecord
+	dropWindows []DropWindowRecord
+	dropsLost   int // drop-window records discarded once full
+}
+
+// NewAudit creates an empty audit log.
+func NewAudit() *Audit { return &Audit{} }
+
+// RecordPlacement appends one plan node's placement for an epoch.
+func (a *Audit) RecordPlacement(r PlacementRecord) {
+	if a == nil {
+		return
+	}
+	a.placements = append(a.placements, r)
+}
+
+// RecordSplit appends one query's budget split for an epoch.
+func (a *Audit) RecordSplit(r SplitRecord) {
+	if a == nil {
+		return
+	}
+	a.splits = append(a.splits, r)
+}
+
+// RecordDropWindow appends one early-drop window decision. The list is
+// bounded; overflow is counted, not stored.
+func (a *Audit) RecordDropWindow(r DropWindowRecord) {
+	if a == nil {
+		return
+	}
+	if len(a.dropWindows) >= maxDropWindows {
+		a.dropsLost++
+		return
+	}
+	a.dropWindows = append(a.dropWindows, r)
+}
+
+// Placements returns the recorded placements in epoch order.
+func (a *Audit) Placements() []PlacementRecord {
+	if a == nil {
+		return nil
+	}
+	return a.placements
+}
+
+// Splits returns the recorded budget splits in epoch order.
+func (a *Audit) Splits() []SplitRecord {
+	if a == nil {
+		return nil
+	}
+	return a.splits
+}
+
+// DropWindows returns the recorded early-drop decisions in time order.
+func (a *Audit) DropWindows() []DropWindowRecord {
+	if a == nil {
+		return nil
+	}
+	return a.dropWindows
+}
+
+// auditJSON is the audit log's file form.
+type auditJSON struct {
+	Placements  []PlacementRecord  `json:"placements"`
+	Splits      []SplitRecord      `json:"splits"`
+	DropWindows []DropWindowRecord `json:"drop_windows"`
+	DropsLost   int                `json:"drop_windows_lost,omitempty"`
+}
+
+// WriteJSON writes the audit log as one JSON object.
+func (a *Audit) WriteJSON(w io.Writer) error {
+	var doc auditJSON
+	if a != nil {
+		doc = auditJSON{
+			Placements: a.placements, Splits: a.splits,
+			DropWindows: a.dropWindows, DropsLost: a.dropsLost,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadAudit parses an audit log produced by WriteJSON.
+func ReadAudit(r io.Reader) (*Audit, error) {
+	var doc auditJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("trace: parsing audit JSON: %w", err)
+	}
+	return &Audit{
+		placements: doc.Placements, splits: doc.Splits,
+		dropWindows: doc.DropWindows, dropsLost: doc.DropsLost,
+	}, nil
+}
+
+// WriteText renders the audit log per epoch: each plan node with its duty
+// cycle, occupancy and packed sessions, then the query splits, then a
+// summary of early-drop activity per unit.
+func (a *Audit) WriteText(w io.Writer) error {
+	if a == nil {
+		return nil
+	}
+	byEpoch := make(map[int][]PlacementRecord)
+	epochs := []int{}
+	for _, p := range a.placements {
+		if _, ok := byEpoch[p.Epoch]; !ok {
+			epochs = append(epochs, p.Epoch)
+		}
+		byEpoch[p.Epoch] = append(byEpoch[p.Epoch], p)
+	}
+	sort.Ints(epochs)
+	splitsByEpoch := make(map[int][]SplitRecord)
+	for _, s := range a.splits {
+		splitsByEpoch[s.Epoch] = append(splitsByEpoch[s.Epoch], s)
+	}
+	for _, ep := range epochs {
+		if _, err := fmt.Fprintf(w, "epoch %d\n", ep); err != nil {
+			return err
+		}
+		for _, p := range byEpoch[ep] {
+			sat := ""
+			if p.Saturated {
+				sat = " saturated"
+			}
+			if _, err := fmt.Fprintf(w, "  node %-12s duty=%6.2fms occ=%.3f backends=%v%s\n",
+				p.Node, p.DutyMS, p.Occupancy, p.Backends, sat); err != nil {
+				return err
+			}
+			for _, u := range p.Units {
+				line := fmt.Sprintf("    %-10s session=%-20s batch=%-3d rate=%.1f",
+					u.Unit, u.Session, u.Batch, u.Rate)
+				if len(u.Members) > 0 {
+					line += fmt.Sprintf(" members=%v", u.Members)
+				}
+				if _, err := fmt.Fprintln(w, line); err != nil {
+					return err
+				}
+			}
+		}
+		for _, s := range splitsByEpoch[ep] {
+			stages := make([]string, 0, len(s.Budgets))
+			for name := range s.Budgets {
+				stages = append(stages, name)
+			}
+			sort.Strings(stages)
+			parts := make([]string, len(stages))
+			for i, name := range stages {
+				parts[i] = fmt.Sprintf("%s=%.1fms", name, s.Budgets[name])
+			}
+			if _, err := fmt.Fprintf(w, "  split %-12s method=%-4s gpus=%.2f %v\n",
+				s.Query, s.Method, s.GPUs, parts); err != nil {
+				return err
+			}
+		}
+	}
+	if len(a.dropWindows) > 0 {
+		type unitDrops struct {
+			windows, dropped int
+		}
+		byUnit := make(map[string]*unitDrops)
+		keys := []string{}
+		for _, d := range a.dropWindows {
+			k := d.Backend + "/" + d.Unit
+			u, ok := byUnit[k]
+			if !ok {
+				u = &unitDrops{}
+				byUnit[k] = u
+				keys = append(keys, k)
+			}
+			u.windows++
+			u.dropped += d.Dropped
+		}
+		sort.Strings(keys)
+		if _, err := fmt.Fprintln(w, "early-drop windows"); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			u := byUnit[k]
+			if _, err := fmt.Fprintf(w, "  %-20s windows=%-5d dropped=%d\n", k, u.windows, u.dropped); err != nil {
+				return err
+			}
+		}
+		if a.dropsLost > 0 {
+			if _, err := fmt.Fprintf(w, "  (%d drop-window records discarded: log full)\n", a.dropsLost); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AtMS stamps a simulation time for audit records.
+func AtMS(at time.Duration) float64 { return MS(at) }

@@ -1,8 +1,16 @@
-// Package trace records the lifecycle of requests moving through a Nexus
-// deployment: arrival at the frontend, dispatch to a backend, batch
-// execution, and completion or drop. Traces support debugging scheduling
-// pathologies (which node dropped, after how long in queue, at what batch
-// size) and power the nexus-sim CLI's --trace output.
+// Package trace is the cluster's observability layer. It records the
+// lifecycle of requests moving through a Nexus deployment as span-structured
+// events — frontend arrival, route decision, enqueue after the network hop,
+// batch execution on the GPU, and completion or drop — and the control
+// plane's per-epoch decisions as an audit log (squishy-bin-packing
+// placements, query latency splits, early-drop window culls).
+//
+// Traces answer the questions the paper's design motivates: which duty
+// cycle a session landed in (§6.1), how a complex query's SLO budget was
+// split (§6.2), and which window early-drop culled (§4.3). Exporters
+// include JSON (millisecond timestamps), Chrome trace-event format
+// (chrome://tracing-loadable, see chrome.go), and per-stage latency
+// breakdowns (analyze.go) consumed by the nexus-trace CLI.
 //
 // Tracing is allocation-conscious: events go into a fixed-capacity ring
 // buffer, and a nil *Tracer is a valid no-op so the data plane never
@@ -13,6 +21,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"time"
 )
@@ -23,22 +32,81 @@ type Kind string
 // Event kinds, in lifecycle order.
 const (
 	Arrive   Kind = "arrive"   // request entered the frontend
-	Dispatch Kind = "dispatch" // routed to a backend unit
+	Route    Kind = "route"    // frontend picked a backend/unit (smooth WRR)
+	Enqueue  Kind = "enqueue"  // entered the unit's queue after the network hop
 	Execute  Kind = "execute"  // included in a batch submitted to the GPU
 	Complete Kind = "complete" // response delivered
-	Drop     Kind = "drop"     // dropped (admission control or deadline)
+	Drop     Kind = "drop"     // dropped (admission control, reconfig, failure, ...)
 )
 
-// Event is one lifecycle record.
+// Event is one lifecycle record. The Dur field carries the span the event
+// closes, by kind: Enqueue — time since frontend arrival (dispatch + network
+// hop); Execute — the batch's planned GPU latency (utilization timelines);
+// Complete and Drop — total time in system. Inc tags Execute events with the
+// backend's incarnation so events from before a crash do not attribute to
+// the restarted node.
 type Event struct {
-	At      time.Duration `json:"at"`
-	Kind    Kind          `json:"kind"`
-	ReqID   uint64        `json:"req"`
-	Session string        `json:"session,omitempty"`
-	Backend string        `json:"backend,omitempty"`
-	Unit    string        `json:"unit,omitempty"`
-	Batch   int           `json:"batch,omitempty"`
-	Detail  string        `json:"detail,omitempty"`
+	At      time.Duration
+	Kind    Kind
+	ReqID   uint64
+	Session string
+	Backend string
+	Unit    string
+	Batch   int
+	Dur     time.Duration
+	Inc     uint64
+	Cause   string // drop cause, matching the backend outcome taxonomy
+	Detail  string
+}
+
+// eventJSON is the wire form: timestamps and durations in milliseconds with
+// explicit units (raw nanosecond integers are unreadable in dumps), and
+// batch without omitempty — a legitimate batch-size-0 record must stay
+// distinguishable from an unset field.
+type eventJSON struct {
+	AtMS    float64 `json:"at_ms"`
+	Kind    Kind    `json:"kind"`
+	ReqID   uint64  `json:"req"`
+	Session string  `json:"session,omitempty"`
+	Backend string  `json:"backend,omitempty"`
+	Unit    string  `json:"unit,omitempty"`
+	Batch   int     `json:"batch"`
+	DurMS   float64 `json:"dur_ms"`
+	Inc     uint64  `json:"inc,omitempty"`
+	Cause   string  `json:"cause,omitempty"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// MS converts a duration to milliseconds for export.
+func MS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// FromMS converts exported milliseconds back to a duration, rounding to the
+// nearest nanosecond so a marshal/unmarshal round trip is exact.
+func FromMS(ms float64) time.Duration {
+	return time.Duration(math.Round(ms * float64(time.Millisecond)))
+}
+
+// MarshalJSON implements json.Marshaler using the millisecond wire schema.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{
+		AtMS: MS(e.At), Kind: e.Kind, ReqID: e.ReqID, Session: e.Session,
+		Backend: e.Backend, Unit: e.Unit, Batch: e.Batch, DurMS: MS(e.Dur),
+		Inc: e.Inc, Cause: e.Cause, Detail: e.Detail,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for the millisecond wire schema.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var w eventJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*e = Event{
+		At: FromMS(w.AtMS), Kind: w.Kind, ReqID: w.ReqID, Session: w.Session,
+		Backend: w.Backend, Unit: w.Unit, Batch: w.Batch, Dur: FromMS(w.DurMS),
+		Inc: w.Inc, Cause: w.Cause, Detail: w.Detail,
+	}
+	return nil
 }
 
 // Tracer is a bounded in-memory event recorder. A nil Tracer discards
@@ -70,7 +138,9 @@ func (t *Tracer) SetFilter(f func(Event) bool) {
 	t.filter = f
 }
 
-// Record appends an event (no-op on a nil tracer).
+// Record appends an event (no-op on a nil tracer). Filtered events are
+// discarded before touching the ring: they advance neither the write cursor
+// nor the total, so a filter cannot evict retained events.
 func (t *Tracer) Record(e Event) {
 	if t == nil {
 		return
@@ -138,10 +208,20 @@ func (t *Tracer) RequestLatency() map[uint64]time.Duration {
 	return out
 }
 
-// WriteJSON streams retained events as a JSON array.
+// WriteJSON streams retained events as a JSON array in the millisecond
+// wire schema.
 func (t *Tracer) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(t.Events())
+}
+
+// ReadJSON parses a JSON event array previously produced by WriteJSON.
+func ReadJSON(r io.Reader) ([]Event, error) {
+	var out []Event
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("trace: parsing event JSON: %w", err)
+	}
+	return out, nil
 }
 
 // WriteText renders retained events human-readably, one per line.
@@ -150,11 +230,11 @@ func (t *Tracer) WriteText(w io.Writer) error {
 		var err error
 		switch e.Kind {
 		case Execute:
-			_, err = fmt.Fprintf(w, "%-14v %-9s req=%-8d %s unit=%s batch=%d\n",
-				e.At, e.Kind, e.ReqID, e.Backend, e.Unit, e.Batch)
+			_, err = fmt.Fprintf(w, "%-14v %-9s req=%-8d %s unit=%s batch=%d inc=%d\n",
+				e.At, e.Kind, e.ReqID, e.Backend, e.Unit, e.Batch, e.Inc)
 		case Drop:
-			_, err = fmt.Fprintf(w, "%-14v %-9s req=%-8d %s %s\n",
-				e.At, e.Kind, e.ReqID, e.Session, e.Detail)
+			_, err = fmt.Fprintf(w, "%-14v %-9s req=%-8d %s cause=%s %s\n",
+				e.At, e.Kind, e.ReqID, e.Session, e.Cause, e.Detail)
 		default:
 			_, err = fmt.Fprintf(w, "%-14v %-9s req=%-8d %s %s\n",
 				e.At, e.Kind, e.ReqID, e.Session, e.Backend)
