@@ -13,12 +13,14 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
 	"nexus/internal/apps"
 	"nexus/internal/cluster"
 	"nexus/internal/spec"
+	"nexus/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +40,12 @@ func main() {
 	auditOn := flag.Bool("audit", false, "keep and print the control-plane audit log")
 	auditOut := flag.String("audit-out", "", "write the audit log as JSON to this file (implies -audit)")
 	deferDrops := flag.Bool("defer", false, "serve would-be-dropped requests late at low priority (§5 alternative)")
+	telemInterval := flag.Duration("telemetry", 0, "live telemetry sampling interval (0 = off)")
+	telemOut := flag.String("telemetry-out", "", "write telemetry snapshots as JSONL to this file (implies -telemetry; tail with nexus-top)")
+	alertsOut := flag.String("alerts-out", "", "write the telemetry alert log as JSONL to this file (implies -telemetry)")
+	telemListen := flag.String("telemetry-listen", "", "serve /metrics (Prometheus text), /alerts, /health on this address (implies -telemetry)")
+	telemHold := flag.Duration("telemetry-hold", 0, "keep the telemetry endpoint up this long after the run finishes")
+	wallTimings := flag.Bool("telemetry-wall", false, "measure real plan wall time (nondeterministic; needs -telemetry)")
 	flag.Parse()
 
 	// -trace-out without -trace records into a generously sized ring.
@@ -46,6 +54,17 @@ func main() {
 	}
 	if *auditOut != "" {
 		*auditOn = true
+	}
+	if (*telemOut != "" || *alertsOut != "" || *telemListen != "") && *telemInterval == 0 {
+		*telemInterval = telemetry.DefaultInterval
+	}
+	var telemCfg *telemetry.Config
+	if *telemInterval > 0 {
+		telemCfg = &telemetry.Config{Interval: *telemInterval, WallTimings: *wallTimings}
+	}
+
+	tOpts := telemetryOpts{
+		out: *telemOut, alerts: *alertsOut, listen: *telemListen, hold: *telemHold,
 	}
 
 	var d *cluster.Deployment
@@ -64,7 +83,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runAndReport(d, *duration, *specPath, d.Pool.Capacity(), *traceOut, *auditOut)
+		if telemCfg != nil {
+			fmt.Fprintln(os.Stderr, "nexus-sim: -telemetry* flags are ignored with -spec (enable telemetry in the spec builder)")
+		}
+		runAndReport(d, *duration, *specPath, d.Pool.Capacity(), *traceOut, *auditOut, telemetryOpts{})
 		return
 	}
 	d, err = cluster.New(cluster.Config{
@@ -77,6 +99,7 @@ func main() {
 		TraceCapacity: *traceN,
 		Audit:         *auditOn,
 		DeferDropped:  *deferDrops,
+		Telemetry:     telemCfg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -107,12 +130,31 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	runAndReport(d, *duration, fmt.Sprintf("%s/%s", *system, *app), *gpus, *traceOut, *auditOut)
+	runAndReport(d, *duration, fmt.Sprintf("%s/%s", *system, *app), *gpus, *traceOut, *auditOut, tOpts)
+}
+
+// telemetryOpts bundles the telemetry output destinations.
+type telemetryOpts struct {
+	out    string // snapshot JSONL path
+	alerts string // alert log JSONL path
+	listen string // HTTP address for live Prometheus scraping
+	hold   time.Duration
 }
 
 // runAndReport executes the deployment and prints the standard panels.
 func runAndReport(d *cluster.Deployment, duration time.Duration, label string, gpus int,
-	traceOut, auditOut string) {
+	traceOut, auditOut string, tOpts telemetryOpts) {
+	if tOpts.listen != "" && d.Telemetry() != nil {
+		// Serve the live endpoint while the simulation runs: /metrics reads
+		// only the mutex-published latest snapshot, so scraping is race-free.
+		srv := &http.Server{Addr: tOpts.listen, Handler: telemetry.Handler(d.Telemetry())}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+		}()
+		fmt.Printf("telemetry: serving /metrics on %s\n", tOpts.listen)
+	}
 	bad, err := d.Run(duration)
 	if err != nil {
 		log.Fatal(err)
@@ -177,6 +219,80 @@ func runAndReport(d *cluster.Deployment, duration time.Duration, label string, g
 			}
 		}
 	}
+	if c := d.Telemetry(); c != nil {
+		fmt.Printf("\n  telemetry: %d snapshots, %d alert transitions, %d health reports\n",
+			len(c.Snapshots()), len(c.Alerts()), len(c.Health()))
+		if alerts := c.Alerts(); len(alerts) > 0 {
+			fmt.Println("  alert log:")
+			if err := c.WriteAlertsText(prefixed(os.Stdout, "    ")); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if hs := c.Health(); len(hs) > 0 {
+			fmt.Println("  scheduler health (last epoch):")
+			if err := hs[len(hs)-1].WriteText(prefixed(os.Stdout, "    ")); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if tOpts.out != "" {
+			if err := writeFile(tOpts.out, func(w io.Writer) error {
+				return telemetry.WriteSnapshotsJSONL(w, c.Snapshots())
+			}); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  snapshots written to %s (view with nexus-top -in %s)\n", tOpts.out, tOpts.out)
+		}
+		if tOpts.alerts != "" {
+			if err := writeFile(tOpts.alerts, func(w io.Writer) error {
+				return telemetry.WriteAlertsJSONL(w, c.Alerts())
+			}); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  alert log written to %s\n", tOpts.alerts)
+		}
+		if tOpts.listen != "" && tOpts.hold > 0 {
+			fmt.Printf("  holding %s for %v (scrape %s/metrics)\n", tOpts.listen, tOpts.hold, tOpts.listen)
+			time.Sleep(tOpts.hold)
+		}
+	}
+}
+
+// prefixed returns a writer that indents every line it forwards.
+func prefixed(w io.Writer, prefix string) io.Writer {
+	return &prefixWriter{w: w, prefix: []byte(prefix), atLineStart: true}
+}
+
+type prefixWriter struct {
+	w           io.Writer
+	prefix      []byte
+	atLineStart bool
+}
+
+func (p *prefixWriter) Write(b []byte) (int, error) {
+	n := 0
+	for len(b) > 0 {
+		if p.atLineStart {
+			if _, err := p.w.Write(p.prefix); err != nil {
+				return n, err
+			}
+			p.atLineStart = false
+		}
+		i := 0
+		for i < len(b) && b[i] != '\n' {
+			i++
+		}
+		if i < len(b) {
+			i++ // include the newline
+			p.atLineStart = true
+		}
+		m, err := p.w.Write(b[:i])
+		n += m
+		if err != nil {
+			return n, err
+		}
+		b = b[i:]
+	}
+	return n, nil
 }
 
 // writeFile streams write into path, creating or truncating it.

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nexus/internal/telemetry"
+)
+
+// snap builds a snapshot with the counters/gauges the dashboard reads.
+func snap(at time.Duration, good float64) telemetry.Snapshot {
+	return telemetry.Snapshot{
+		At:   at,
+		AtMS: float64(at) / float64(time.Millisecond),
+		Counters: map[string]float64{
+			"sched_epochs_total":                                2,
+			"sched_sessions_moved_total":                        1,
+			telemetry.Key("session_sent_total", "session", "s"): good + 10,
+			telemetry.Key("session_good_total", "session", "s"): good,
+			telemetry.Key("session_bad_total", "session", "s"):  10,
+		},
+		Gauges: map[string]float64{
+			"sched_gpus_allocated":                                 3,
+			"sched_gpus_demanded":                                  4,
+			"cluster_gpus_capacity":                                8,
+			telemetry.Key("backend_up", "backend", "be0"):          1,
+			telemetry.Key("backend_duty", "backend", "be0"):        0.5,
+			telemetry.Key("backend_queue_depth", "backend", "be0"): 7,
+			telemetry.Key("backend_batch_size", "backend", "be0"):  4,
+		},
+		Windows: map[string]telemetry.WindowStats{
+			telemetry.Key("backend_exec_ms", "backend", "be0"): {Count: 12, MeanMS: 20, P50MS: 19, P99MS: 30, MaxMS: 31},
+		},
+	}
+}
+
+func TestRenderFrame(t *testing.T) {
+	snaps := []telemetry.Snapshot{snap(time.Second, 100), snap(2*time.Second, 220)}
+	alerts := []telemetry.Alert{
+		{At: 1500 * time.Millisecond, AtMS: 1500, Rule: "slo-burn-rate", Target: "s", State: "firing", Value: 9.9},
+	}
+	out := renderFrame(snaps, alerts)
+
+	for _, want := range []string{
+		"t=2.0s",
+		"gpus=3/8 (demand 4)",
+		"SESSION",
+		"s ", // session row
+		"BACKEND",
+		"be0",
+		"up",
+		"50.0",    // duty%
+		"30.00ms", // exec p99
+		"FIRING: slo-burn-rate(s)",
+		"firing",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	// Goodput over the 1s between snapshots: (220-100)/1 = 120.
+	if !strings.Contains(out, "120.0") {
+		t.Errorf("want goodput 120.0 in frame:\n%s", out)
+	}
+	// Attainment 220/(220+10) = 95.65%.
+	if !strings.Contains(out, "95.65") {
+		t.Errorf("want attainment 95.65 in frame:\n%s", out)
+	}
+}
+
+func TestRenderFrameAlertsResolveAndClip(t *testing.T) {
+	snaps := []telemetry.Snapshot{snap(3*time.Second, 100)}
+	alerts := []telemetry.Alert{
+		{At: 1 * time.Second, AtMS: 1000, Rule: "queue-saturation", Target: "be0", State: "firing"},
+		{At: 2 * time.Second, AtMS: 2000, Rule: "queue-saturation", Target: "be0", State: "resolved"},
+		// After the displayed snapshot time — must not appear.
+		{At: 5 * time.Second, AtMS: 5000, Rule: "backend-flap", Target: "be1", State: "firing"},
+	}
+	out := renderFrame(snaps, alerts)
+	if strings.Contains(out, "FIRING:") {
+		t.Errorf("resolved alert must clear the firing panel:\n%s", out)
+	}
+	if strings.Contains(out, "be1") {
+		t.Errorf("future alert leaked into the frame:\n%s", out)
+	}
+	if !strings.Contains(out, "resolved") {
+		t.Errorf("want the resolve transition in the recent-alerts list:\n%s", out)
+	}
+}
+
+func TestRenderFrameSingleSnapshot(t *testing.T) {
+	out := renderFrame([]telemetry.Snapshot{snap(time.Second, 50)}, nil)
+	// No previous snapshot: goodput column renders 0.0 without panicking.
+	if !strings.Contains(out, "0.0") {
+		t.Errorf("single-snapshot frame should render zero goodput:\n%s", out)
+	}
+}

@@ -37,7 +37,7 @@ func main() {
 	var events []trace.Event
 	if *tracePath != "" {
 		var err error
-		events, err = readEvents(*tracePath)
+		events, err = loadEvents(*tracePath)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -82,8 +82,13 @@ func main() {
 	}
 }
 
-func readEvents(path string) ([]trace.Event, error) {
+// loadEvents reads a trace file (or stdin for "-") and refuses empty or
+// truncated inputs: analyzer tables over zero events are always a mistake
+// upstream (a crashed run, a wrong path), and printing them as empty
+// success hides it. Callers exit non-zero on the returned error.
+func loadEvents(path string) ([]trace.Event, error) {
 	var r io.Reader = os.Stdin
+	name := "stdin"
 	if path != "-" {
 		f, err := os.Open(path)
 		if err != nil {
@@ -91,6 +96,14 @@ func readEvents(path string) ([]trace.Event, error) {
 		}
 		defer f.Close()
 		r = f
+		name = path
 	}
-	return trace.ReadJSON(r)
+	events, err := trace.ReadJSON(r)
+	if err != nil {
+		return nil, fmt.Errorf("nexus-trace: %s: %w", name, err)
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("nexus-trace: %s contains no events (was the run traced? see nexus-sim -trace-out)", name)
+	}
+	return events, nil
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadEventsEmptyFile(t *testing.T) {
+	p := writeTemp(t, "empty.json", "")
+	if _, err := loadEvents(p); err == nil {
+		t.Fatal("empty trace file must be an error, not empty tables")
+	} else if !strings.Contains(err.Error(), "empty input") {
+		t.Fatalf("want an empty-input explanation, got: %v", err)
+	}
+}
+
+func TestLoadEventsTruncatedFile(t *testing.T) {
+	p := writeTemp(t, "trunc.json", `[{"at_ms":1,"kind":"arrive","req"`)
+	if _, err := loadEvents(p); err == nil {
+		t.Fatal("truncated trace file must be an error")
+	} else if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("want a truncation explanation, got: %v", err)
+	}
+}
+
+func TestLoadEventsZeroEvents(t *testing.T) {
+	p := writeTemp(t, "zero.json", `[]`)
+	if _, err := loadEvents(p); err == nil {
+		t.Fatal("a trace with zero events must be an error")
+	} else if !strings.Contains(err.Error(), "contains no events") {
+		t.Fatalf("want a no-events explanation, got: %v", err)
+	}
+}
+
+func TestLoadEventsValid(t *testing.T) {
+	p := writeTemp(t, "ok.json", `[{"at_ms":1,"kind":"arrive","req":1,"session":"s","batch":0}]`)
+	events, err := loadEvents(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+}
+
+func TestLoadEventsMissingFile(t *testing.T) {
+	if _, err := loadEvents(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file must be an error")
+	}
+}

@@ -163,6 +163,23 @@ func (b *Backend) UnitIDs() []string {
 	return out
 }
 
+// Incarnation returns the backend's crash incarnation counter.
+func (b *Backend) Incarnation() uint64 { return b.inc }
+
+// BatchStats returns the cumulative executed batch and item counts (reset
+// when the backend is recycled to a new tenant).
+func (b *Backend) BatchStats() (batches, items uint64) { return b.batches, b.items }
+
+// QueuedTotal returns the total requests waiting across all unit queues,
+// including deferred low-priority overflow.
+func (b *Backend) QueuedTotal() int {
+	n := 0
+	for _, u := range b.units {
+		n += u.queue.Len() + u.deferred.Len()
+	}
+	return n
+}
+
 // QueueLen returns the queued request count for a unit (0 if unknown).
 func (b *Backend) QueueLen(unitID string) int {
 	if u, ok := b.byID[unitID]; ok {

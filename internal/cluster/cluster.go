@@ -22,6 +22,7 @@ import (
 	"nexus/internal/queryopt"
 	"nexus/internal/scheduler"
 	"nexus/internal/simclock"
+	"nexus/internal/telemetry"
 	"nexus/internal/trace"
 	"nexus/internal/workload"
 )
@@ -111,6 +112,12 @@ type Config struct {
 	// OnFailure, when set, observes every backend declared dead by the
 	// control plane.
 	OnFailure func(backendID string, at time.Duration)
+	// Telemetry enables the live telemetry plane: a streaming metrics
+	// registry sampled every Telemetry.Interval of virtual time, the
+	// alerting engine, and per-epoch scheduler health reports; read them
+	// via Deployment.Telemetry. nil (the default) disables the plane
+	// entirely — no instruments, no sampling tick, goldens unchanged.
+	Telemetry *telemetry.Config
 }
 
 // Deployment is a running simulated cluster.
@@ -170,6 +177,10 @@ type Deployment struct {
 	tracer *trace.Tracer
 	// audit holds the control-plane audit log when enabled (nil = off).
 	audit *trace.Audit
+	// telem is the live telemetry collector (nil = off); telemSample holds
+	// the sampler's pull-side state.
+	telem       *telemetry.Collector
+	telemSample *telemetrySampler
 }
 
 type sessionLoad struct {
@@ -252,6 +263,10 @@ func New(cfg Config) (*Deployment, error) {
 	if cfg.Audit {
 		d.audit = trace.NewAudit()
 	}
+	if cfg.Telemetry != nil {
+		d.telem = telemetry.NewCollector(*cfg.Telemetry)
+		d.telemSample = newTelemetrySampler(d)
+	}
 	if cfg.SessionTimelines {
 		d.sessGood = make(map[string]*metrics.TimeSeries)
 		d.sessBad = make(map[string]*metrics.TimeSeries)
@@ -269,6 +284,17 @@ func New(cfg Config) (*Deployment, error) {
 					Batch: len(batch), Dur: gpuTime, Inc: inc,
 				})
 			}
+		}
+	}
+	if d.telem != nil {
+		// Execute latency is the one push-style instrument: batch grain (not
+		// request grain), composed with the tracer's hook when both are on.
+		prevOnBatch := beCfg.OnBatch
+		beCfg.OnBatch = func(backendID, unitID string, batch []backend.Request, inc uint64, gpuTime time.Duration) {
+			if prevOnBatch != nil {
+				prevOnBatch(backendID, unitID, batch, inc, gpuTime)
+			}
+			d.telemSample.execWindow(backendID).Observe(gpuTime)
 		}
 	}
 	if d.audit != nil {
@@ -347,6 +373,10 @@ func (d *Deployment) Tracer() *trace.Tracer { return d.tracer }
 // Audit returns the control-plane audit log (nil unless enabled via
 // Config.Audit).
 func (d *Deployment) Audit() *trace.Audit { return d.audit }
+
+// Telemetry returns the live telemetry collector (nil unless enabled via
+// Config.Telemetry).
+func (d *Deployment) Telemetry() *telemetry.Collector { return d.telem }
 
 // runtimeConfig maps the system kind to backend behaviour (§7.2).
 func (d *Deployment) runtimeConfig() (backend.Config, gpusim.Mode) {
@@ -438,6 +468,18 @@ func (d *Deployment) controlConfig() globalsched.Config {
 	cfg.LeaseMisses = d.cfg.LeaseMisses
 	cfg.OnFailure = d.cfg.OnFailure
 	cfg.Audit = d.audit
+	if d.telem != nil {
+		cfg.PlanWallClock = d.telem.WallTimings()
+		// Capture the per-epoch health report before handing the epoch to
+		// the user's observer.
+		userOnEpoch := cfg.OnEpoch
+		cfg.OnEpoch = func(epoch int, stats scheduler.MoveStats, gpusInUse int) {
+			d.telem.AddHealth(d.Sched.Explain())
+			if userOnEpoch != nil {
+				userOnEpoch(epoch, stats, gpusInUse)
+			}
+		}
+	}
 	return cfg
 }
 
@@ -517,11 +559,26 @@ func (d *Deployment) Run(duration time.Duration) (float64, error) {
 	sampler := d.Clock.StartTicker(time.Second, func() {
 		d.GPUsUsed.Add(d.Clock.Now(), float64(d.Pool.InUse()))
 	})
+	// Telemetry sampling, aligned to the end of warmup so window deltas
+	// never straddle the uncounted fill phase.
+	var telemTicker *simclock.Ticker
+	if d.telem != nil {
+		iv := d.telem.Interval()
+		telemTicker = d.Clock.StartTickerAt(d.cfg.Warmup+iv, iv, d.telemSample.sample)
+	}
 	d.Clock.RunUntil(horizon)
 	sampler.Stop()
+	if telemTicker != nil {
+		telemTicker.Stop()
+	}
 	d.Sched.Stop()
 	// Drain in-flight work so counts settle.
 	d.Clock.Run()
+	if d.telem != nil {
+		// One final sample after the drain so the last snapshot carries the
+		// settled totals.
+		d.telemSample.sample()
+	}
 	return d.BadRate(), nil
 }
 

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"nexus/internal/telemetry"
+)
+
+// telemetrySampler is the pull side of the telemetry plane: every sampling
+// tick it reads counters the simulation already maintains — the metrics
+// recorder, frontend dispatch state, backend queues and devices, the
+// scheduler — into the registry, then hands the collector a snapshot. No
+// hot-path instrumentation is needed beyond the batch-grain execute-
+// latency hook, so an enabled plane still never perturbs event order.
+type telemetrySampler struct {
+	d *Deployment
+
+	// prevBusy/prevBatches/prevItems are the per-backend cumulative values
+	// at the previous sample, for windowed duty/batch-size gauges.
+	prevBusy    map[string]time.Duration
+	prevBatches map[string]uint64
+	prevItems   map[string]uint64
+	// seen tracks every backend ID ever sampled, so a released or parked
+	// backend keeps exporting (zeroed) gauges instead of freezing at its
+	// last value — stable key sets also keep flap detection bridged.
+	seen map[string]bool
+	// execWins caches per-backend execute-latency windows so the OnBatch
+	// hook does not rebuild canonical keys per batch.
+	execWins map[string]*telemetry.Window
+	// lastAt is the previous sample's time, for irregular final samples.
+	lastAt time.Duration
+}
+
+func newTelemetrySampler(d *Deployment) *telemetrySampler {
+	return &telemetrySampler{
+		d:           d,
+		prevBusy:    make(map[string]time.Duration),
+		prevBatches: make(map[string]uint64),
+		prevItems:   make(map[string]uint64),
+		seen:        make(map[string]bool),
+		execWins:    make(map[string]*telemetry.Window),
+	}
+}
+
+// execWindow returns the cached execute-latency window for a backend.
+func (ts *telemetrySampler) execWindow(beID string) *telemetry.Window {
+	w, ok := ts.execWins[beID]
+	if !ok {
+		w = ts.d.telem.Registry().Window("backend_exec_ms", "backend", beID)
+		ts.execWins[beID] = w
+	}
+	return w
+}
+
+// sample pulls every plane's state into the registry and ticks the
+// collector. Runs on the simulation goroutine.
+func (ts *telemetrySampler) sample() {
+	d := ts.d
+	now := d.Clock.Now()
+	elapsed := now - ts.lastAt
+	reg := d.telem.Registry()
+
+	// Per-session outcome counters from the metrics recorder.
+	for _, sid := range d.Recorder.SessionIDs() {
+		s := d.Recorder.Session(sid)
+		reg.Counter("session_sent_total", "session", sid).Set(float64(s.Sent))
+		reg.Counter("session_good_total", "session", sid).Set(float64(s.Good()))
+		reg.Counter("session_bad_total", "session", sid).Set(float64(s.Bad()))
+		reg.Counter("session_drops_total", "session", sid, "cause", "deadline").Set(float64(s.Dropped))
+		reg.Counter("session_drops_total", "session", sid, "cause", "unroutable").Set(float64(s.Unroutable))
+		reg.Counter("session_drops_total", "session", sid, "cause", "reconfig").Set(float64(s.Reconfig))
+		reg.Counter("session_drops_total", "session", sid, "cause", "overload").Set(float64(s.Overload))
+		reg.Counter("session_drops_total", "session", sid, "cause", "failure").Set(float64(s.Failed))
+		reg.Counter("session_late_total", "session", sid).Set(float64(s.Missed))
+	}
+
+	// Per-frontend dispatch state.
+	for i, fe := range d.Frontends {
+		l := strconv.Itoa(i)
+		reg.Counter("frontend_dispatch_total", "frontend", l).Set(float64(fe.Dispatches()))
+		reg.Counter("frontend_retries_total", "frontend", l).Set(float64(fe.Retries()))
+		reg.Gauge("frontend_table_version", "frontend", l).Set(float64(fe.TableVersion()))
+	}
+
+	// Per-backend data-plane state. Live backends export real values;
+	// backends that left the pool export zeros, keeping key sets stable.
+	live := make(map[string]bool)
+	for _, beID := range d.BackendIDs() {
+		live[beID] = true
+		ts.seen[beID] = true
+		be := d.Pool.Get(beID)
+		reg.Gauge("backend_queue_depth", "backend", beID).Set(float64(be.QueuedTotal()))
+		up := 0.0
+		if be.Alive() {
+			up = 1
+		}
+		reg.Gauge("backend_up", "backend", beID).Set(up)
+		reg.Gauge("backend_incarnation", "backend", beID).Set(float64(be.Incarnation()))
+		busy := be.Device().BusyTime()
+		duty := 0.0
+		if elapsed > 0 {
+			duty = float64(busy-ts.prevBusy[beID]) / float64(elapsed)
+			if duty < 0 {
+				duty = 0
+			}
+			if duty > 1 {
+				duty = 1
+			}
+		}
+		ts.prevBusy[beID] = busy
+		reg.Gauge("backend_duty", "backend", beID).Set(duty)
+		batches, items := be.BatchStats()
+		avg := 0.0
+		if db := batches - ts.prevBatches[beID]; batches >= ts.prevBatches[beID] && db > 0 {
+			avg = float64(items-ts.prevItems[beID]) / float64(db)
+		}
+		ts.prevBatches[beID], ts.prevItems[beID] = batches, items
+		reg.Gauge("backend_batch_size", "backend", beID).Set(avg)
+	}
+	gone := make([]string, 0, len(ts.seen))
+	for beID := range ts.seen {
+		if !live[beID] {
+			gone = append(gone, beID)
+		}
+	}
+	sort.Strings(gone)
+	for _, beID := range gone {
+		reg.Gauge("backend_queue_depth", "backend", beID).Set(0)
+		reg.Gauge("backend_up", "backend", beID).Set(0)
+		reg.Gauge("backend_duty", "backend", beID).Set(0)
+		reg.Gauge("backend_batch_size", "backend", beID).Set(0)
+		delete(ts.prevBusy, beID)
+		delete(ts.prevBatches, beID)
+		delete(ts.prevItems, beID)
+	}
+
+	// Control plane.
+	reg.Counter("sched_epochs_total").Set(float64(d.Sched.Epochs()))
+	reg.Counter("sched_sessions_moved_total").Set(float64(d.Sched.TotalMoved()))
+	reg.Gauge("sched_gpus_allocated").Set(float64(d.Pool.InUse()))
+	reg.Gauge("sched_gpus_demanded").Set(float64(d.Sched.GPUsDemanded()))
+	reg.Gauge("cluster_gpus_capacity").Set(float64(d.Pool.Capacity()))
+	reg.Gauge("sched_plan_wall_ms").Set(telemetry.MS(d.Sched.LastPlanWall()))
+	reg.Counter("cluster_unroutable_total").Set(float64(d.unroutable))
+
+	ts.lastAt = now
+	d.telem.Tick(now)
+}

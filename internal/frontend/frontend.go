@@ -81,6 +81,13 @@ type Frontend struct {
 	retry bool
 
 	table RoutingTable
+	// tableVersion counts routing-table changes (control-plane pushes and
+	// failure repairs), for telemetry.
+	tableVersion uint64
+	// dispatches and retries count routed requests and retry-once re-sends
+	// over the frontend's lifetime, for telemetry.
+	dispatches uint64
+	retries    uint64
 	// sessions is the resolved dispatch state, rebuilt whenever the table
 	// changes (SetTable, RemoveBackend). Route repair and resource release
 	// happen in the same simulation event, so a resolved backend pointer is
@@ -150,6 +157,7 @@ func (p *pendingSend) deliver() {
 		if f.retry && firstTry {
 			if alt, ok := f.altRoute(req.Session, r.BackendID); ok &&
 				req.Deadline-f.clock.Now() > f.netDelay+f.extraDelay {
+				f.retries++
 				f.send(req, alt, false)
 				return
 			}
@@ -212,6 +220,7 @@ func (f *Frontend) SetTable(rt RoutingTable) error {
 		}
 	}
 	f.table = rt
+	f.tableVersion++
 	sessions := make(map[string]*sessionState, len(rt))
 	for sid, routes := range rt {
 		st := &sessionState{routes: f.resolve(routes), wrr: make([]float64, len(routes))}
@@ -254,6 +263,7 @@ func (f *Frontend) Dispatch(req workload.Request) {
 		return
 	}
 	st.count++
+	f.dispatches++
 	r := st.pick()
 	if f.tracer != nil {
 		f.tracer.Record(trace.Event{
@@ -352,9 +362,22 @@ func (f *Frontend) RemoveBackend(beID string) int {
 	}
 	if repaired != nil {
 		f.table = repaired
+		f.tableVersion++
 	}
 	return affected
 }
+
+// TableVersion returns how many times the routing table has changed
+// (control-plane pushes plus failure repairs).
+func (f *Frontend) TableVersion() uint64 { return f.tableVersion }
+
+// Dispatches returns how many requests this frontend has routed (excludes
+// unroutable admission drops, which never reached a backend).
+func (f *Frontend) Dispatches() uint64 { return f.dispatches }
+
+// Retries returns how many dispatches took the retry-once path after
+// hitting a dead backend or a reconfiguration race.
+func (f *Frontend) Retries() uint64 { return f.retries }
 
 // pick implements smooth weighted round-robin, which spreads a session's
 // requests across its replicas proportionally and deterministically.

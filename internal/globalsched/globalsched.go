@@ -19,6 +19,7 @@ import (
 	"nexus/internal/queryopt"
 	"nexus/internal/scheduler"
 	"nexus/internal/simclock"
+	"nexus/internal/telemetry"
 	"nexus/internal/trace"
 )
 
@@ -106,6 +107,11 @@ type Config struct {
 	// Audit, when set, receives per-epoch placement records and query
 	// budget splits (the control-plane audit log).
 	Audit *trace.Audit
+	// PlanWallClock measures each epoch's real (wall-clock) planning time,
+	// surfaced via LastPlanWall and the telemetry health report. Off by
+	// default: wall time is nondeterministic, and determinism tests require
+	// identical telemetry streams across runs.
+	PlanWallClock bool
 }
 
 // DefaultPlanningSlack covers round-trip dispatch latency plus margin.
@@ -153,6 +159,13 @@ type Scheduler struct {
 	adjBase map[string]*profiler.Profile
 	// totalMoved accumulates SessionsMoved across incremental epochs.
 	totalMoved int
+	// lastDemand is the GPU count the last plan asked for before any
+	// capacity-driven rate scaling (what the workload wanted, not what the
+	// pool could grant).
+	lastDemand int
+	// lastPlanWall is the last epoch's wall-clock planning time (zero
+	// unless Config.PlanWallClock).
+	lastPlanWall time.Duration
 	// lastPlannedRates remembers the rates the last batch-oblivious plan
 	// was computed for (stability guard).
 	lastPlannedRates map[string]float64
@@ -399,6 +412,10 @@ func (s *Scheduler) replaceReplica(nodeID string, g *scheduler.GPUPlan) {
 
 // RunEpoch performs one control-plane cycle.
 func (s *Scheduler) RunEpoch() error {
+	var wallStart time.Time
+	if s.cfg.PlanWallClock {
+		wallStart = time.Now()
+	}
 	s.epochs++
 	s.lastStats = scheduler.MoveStats{}
 	// Shed replicas that died since the last epoch before planning, so the
@@ -418,6 +435,9 @@ func (s *Scheduler) RunEpoch() error {
 		return err
 	}
 	s.prevPlan = plan
+	if s.cfg.PlanWallClock {
+		s.lastPlanWall = time.Since(wallStart)
+	}
 	s.auditEpoch(plan)
 	if s.cfg.OnEpoch != nil {
 		s.cfg.OnEpoch(s.epochs, s.lastStats, s.pool.InUse())
@@ -453,6 +473,61 @@ func (s *Scheduler) auditEpoch(plan *scheduler.Plan) {
 		}
 		s.cfg.Audit.RecordPlacement(rec)
 	}
+}
+
+// GPUsDemanded returns the GPU count the last plan wanted before any
+// capacity-driven rate scaling.
+func (s *Scheduler) GPUsDemanded() int { return s.lastDemand }
+
+// LastPlanWall returns the last epoch's wall-clock planning time (zero
+// unless Config.PlanWallClock).
+func (s *Scheduler) LastPlanWall() time.Duration { return s.lastPlanWall }
+
+// Explain builds the per-epoch scheduler health report: one entry per
+// (session, node) allocation of the current plan with its batch, rate
+// share, node occupancy/headroom, and a rendered reason; plus the
+// demanded-vs-allocated GPU counts and move stats. The telemetry collector
+// stamps it with the alerts firing at plan time.
+func (s *Scheduler) Explain() telemetry.HealthReport {
+	now := s.clock.Now()
+	rep := telemetry.HealthReport{
+		Epoch: s.epochs, At: now, AtMS: telemetry.MS(now),
+		GPUsDemanded:  s.lastDemand,
+		GPUsAllocated: s.pool.InUse(),
+		GPUsCapacity:  s.pool.Capacity(),
+		SessionsMoved: s.lastStats.SessionsMoved,
+		PlanWallMS:    telemetry.MS(s.lastPlanWall),
+	}
+	if s.prevPlan == nil {
+		return rep
+	}
+	profiles := s.planProfiles()
+	for _, g := range s.prevPlan.GPUs {
+		occ, occErr := g.Occupancy(profiles)
+		replicas := len(s.nodeBackend[g.ID])
+		for _, a := range g.Allocs {
+			reason := fmt.Sprintf("%.1f r/s at batch %d on %s (duty %.1fms, occupancy %.0f%%, headroom %.0f%%, %d replica(s))",
+				a.Rate, a.Batch, g.ID, telemetry.MS(g.Duty), 100*occ, 100*(1-occ), replicas)
+			if occErr != nil {
+				reason = fmt.Sprintf("%.1f r/s at batch %d on %s (%d replica(s))", a.Rate, a.Batch, g.ID, replicas)
+			}
+			if members := s.groups[a.SessionID]; len(members) > 0 {
+				reason += fmt.Sprintf(", prefix group of %d", len(members))
+			}
+			rep.Allocs = append(rep.Allocs, telemetry.SessionAlloc{
+				Session: a.SessionID, Node: g.ID, Replicas: replicas,
+				Batch: a.Batch, Rate: a.Rate, DutyMS: telemetry.MS(g.Duty),
+				Occupancy: occ, Headroom: 1 - occ, Reason: reason,
+			})
+		}
+	}
+	sort.Slice(rep.Allocs, func(i, j int) bool {
+		if rep.Allocs[i].Session != rep.Allocs[j].Session {
+			return rep.Allocs[i].Session < rep.Allocs[j].Session
+		}
+		return rep.Allocs[i].Node < rep.Allocs[j].Node
+	})
+	return rep
 }
 
 // observeRates folds the frontends' observed rates into the EWMA state.
@@ -841,6 +916,7 @@ func (s *Scheduler) plan(sessions []scheduler.Session) (*scheduler.Plan, error) 
 		// changed materially. Rate noise must not reshuffle containers —
 		// every move reloads models and drops queued requests.
 		if s.prevPlan != nil && !ratesChangedMaterially(s.lastPlannedRates, sessions) {
+			s.lastDemand = s.prevPlan.GPUCount()
 			return s.prevPlan, nil
 		}
 		plan, err := scheduler.BatchOblivious(sessions, profiles, s.cfg.ObliviousGPUs, s.cfg.Sched)
@@ -850,6 +926,7 @@ func (s *Scheduler) plan(sessions []scheduler.Session) (*scheduler.Plan, error) 
 		for i := range plan.GPUs {
 			plan.GPUs[i].ID = fmt.Sprintf("n%d", i)
 		}
+		s.lastDemand = plan.GPUCount()
 		s.lastPlannedRates = make(map[string]float64, len(sessions))
 		for _, sess := range sessions {
 			s.lastPlannedRates[sess.ID] = sess.Rate
@@ -866,6 +943,11 @@ func (s *Scheduler) plan(sessions []scheduler.Session) (*scheduler.Plan, error) 
 		plan, err := s.packOnce(scaled, profiles)
 		if err != nil {
 			return nil, err
+		}
+		if iter == 0 {
+			// Demand is what the unscaled workload asked for, recorded
+			// before admission control shrinks rates to fit the pool.
+			s.lastDemand = plan.GPUCount()
 		}
 		if capacity <= 0 || plan.GPUCount() <= capacity {
 			return plan, nil

@@ -127,6 +127,16 @@ func (h *Histogram) FractionAbove(limit time.Duration) float64 {
 	return float64(above) / float64(h.count)
 }
 
+// Reset clears all observations, keeping the bucket storage for reuse.
+// This is what makes the histogram usable as a tumbling window: rotate by
+// summarizing and resetting in place, no per-window allocation.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+}
+
 // Merge adds all observations of other into h.
 func (h *Histogram) Merge(other *Histogram) {
 	if other.count == 0 {

@@ -366,6 +366,31 @@ func (c *Clock) StartTicker(period time.Duration, fn func()) *Ticker {
 	return t
 }
 
+// StartTickerAt schedules fn to first run at absolute virtual time first
+// (clamped to now when already past), then every period after that. It
+// lets periodic samplers align their ticks to an external boundary — e.g.
+// telemetry sampling aligned to the end of warmup — instead of to the
+// moment the ticker was created. It panics if period is not positive.
+func (c *Clock) StartTickerAt(first, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("simclock: ticker period must be positive")
+	}
+	if first < c.now {
+		first = c.now
+	}
+	t := &Ticker{clock: c, period: period, fn: fn}
+	t.timer = c.At(first, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+	return t
+}
+
 func (t *Ticker) schedule() {
 	t.timer = t.clock.After(t.period, func() {
 		if t.stopped {

@@ -161,6 +161,43 @@ func TestTicker(t *testing.T) {
 	}
 }
 
+func TestStartTickerAt(t *testing.T) {
+	c := New()
+	var ticks []time.Duration
+	tk := c.StartTickerAt(35*time.Millisecond, 10*time.Millisecond, func() {
+		ticks = append(ticks, c.Now())
+	})
+	c.RunUntil(60 * time.Millisecond)
+	tk.Stop()
+	c.RunUntil(100 * time.Millisecond)
+	want := []time.Duration{35 * time.Millisecond, 45 * time.Millisecond, 55 * time.Millisecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("got ticks %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("got ticks %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestStartTickerAtPastFirstFiresNow(t *testing.T) {
+	c := New()
+	c.At(50*time.Millisecond, func() {})
+	c.RunUntil(50 * time.Millisecond)
+	var ticks []time.Duration
+	// A first time already in the past clamps to now instead of panicking
+	// or silently never firing.
+	tk := c.StartTickerAt(10*time.Millisecond, 20*time.Millisecond, func() {
+		ticks = append(ticks, c.Now())
+	})
+	c.RunUntil(90 * time.Millisecond)
+	tk.Stop()
+	if len(ticks) != 3 || ticks[0] != 50*time.Millisecond || ticks[2] != 90*time.Millisecond {
+		t.Fatalf("got ticks %v, want [50ms 70ms 90ms]", ticks)
+	}
+}
+
 func TestTickerStopFromCallback(t *testing.T) {
 	c := New()
 	count := 0

@@ -19,6 +19,7 @@ package trace
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -216,9 +217,18 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 }
 
 // ReadJSON parses a JSON event array previously produced by WriteJSON.
+// Empty and truncated inputs are reported as such — they usually mean a
+// run crashed mid-write or the wrong file was passed, and "unexpected EOF"
+// alone sends people debugging the wrong layer.
 func ReadJSON(r io.Reader) ([]Event, error) {
 	var out []Event
 	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		switch {
+		case errors.Is(err, io.EOF):
+			return nil, fmt.Errorf("trace: empty input: no JSON event array found")
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			return nil, fmt.Errorf("trace: truncated input: event array ends mid-document (incomplete write?): %w", err)
+		}
 		return nil, fmt.Errorf("trace: parsing event JSON: %w", err)
 	}
 	return out, nil
