@@ -108,3 +108,7 @@ func BenchmarkAblationDefer(b *testing.B) { runExperiment(b, "abl-defer") }
 // BenchmarkExtensionHetero packs a mixed workload onto a heterogeneous
 // K80/1080Ti/V100 fleet and compares dollar cost with homogeneous options.
 func BenchmarkExtensionHetero(b *testing.B) { runExperiment(b, "ext-hetero") }
+
+// BenchmarkCtrlShard compares the monolithic epoch planner against the
+// sharded, incremental control plane on the Figure 13 deployment window.
+func BenchmarkCtrlShard(b *testing.B) { runExperiment(b, "ctrl-shard") }

@@ -122,7 +122,7 @@ func delta(base, cur float64) float64 {
 // current); it always exceeds any tolerance.
 var inf = 1e308
 
-func compare(basePath, curPath string, tolerance float64, w io.Writer) (failed bool, err error) {
+func compare(basePath, curPath string, tolerance float64, allowNew bool, w io.Writer) (failed bool, err error) {
 	base, err := load(basePath)
 	if err != nil {
 		return false, err
@@ -171,8 +171,14 @@ func compare(basePath, curPath string, tolerance float64, w io.Writer) (failed b
 	}
 	sort.Strings(extra)
 	for _, name := range extra {
-		// A benchmark with no baseline has no gate at all; fail until the
-		// baseline is regenerated to include it.
+		// A benchmark with no baseline has no gate at all. By default that
+		// fails until the baseline is regenerated to include it; -allow-new
+		// lets the PR introducing a benchmark pass the gate, while missing
+		// benchmarks (tracked paths that vanished) still fail above.
+		if allowNew {
+			fmt.Fprintf(w, "%-40s %15s %15s %15s\n", name, "-", "-", "NEW (allowed)")
+			continue
+		}
 		fmt.Fprintf(w, "%-40s %15s %15s %15s\n", name, "-", "-", "NEW (no baseline)")
 		failed = true
 	}
@@ -194,6 +200,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON file")
 	current := flag.String("current", "", "current JSON file to compare against the baseline")
 	tolerance := flag.Float64("tolerance", 0.10, "relative regression tolerance on ns/op and allocs/op")
+	allowNew := flag.Bool("allow-new", false, "pass benchmarks absent from the baseline (missing ones still fail)")
 	flag.Parse()
 
 	switch {
@@ -220,7 +227,7 @@ func main() {
 			os.Exit(1)
 		}
 	case *baseline != "" && *current != "":
-		failed, err := compare(*baseline, *current, *tolerance, os.Stdout)
+		failed, err := compare(*baseline, *current, *tolerance, *allowNew, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -24,11 +24,16 @@ func writeReport(t *testing.T, dir, name string, entries []Entry) string {
 
 func runCompare(t *testing.T, base, cur []Entry, tolerance float64) (bool, string) {
 	t.Helper()
+	return runCompareOpts(t, base, cur, tolerance, false)
+}
+
+func runCompareOpts(t *testing.T, base, cur []Entry, tolerance float64, allowNew bool) (bool, string) {
+	t.Helper()
 	dir := t.TempDir()
 	basePath := writeReport(t, dir, "base.json", base)
 	curPath := writeReport(t, dir, "cur.json", cur)
 	var buf bytes.Buffer
-	failed, err := compare(basePath, curPath, tolerance, &buf)
+	failed, err := compare(basePath, curPath, tolerance, allowNew, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,6 +75,31 @@ func TestCompareNewWithoutBaselineFails(t *testing.T) {
 	failed, out := runCompare(t, nil, cur, 0.10)
 	if !failed || !strings.Contains(out, "NEW (no baseline)") {
 		t.Fatalf("benchmark missing from baseline passed:\n%s", out)
+	}
+}
+
+// -allow-new lets a PR introduce a benchmark without hand-editing the
+// baseline; regressions on tracked benchmarks still fail.
+func TestCompareAllowNewPasses(t *testing.T) {
+	base := []Entry{{Name: "BenchmarkA", NsPerOp: 1000}}
+	cur := []Entry{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkNew", NsPerOp: 1000},
+	}
+	failed, out := runCompareOpts(t, base, cur, 0.10, true)
+	if failed || !strings.Contains(out, "NEW (allowed)") {
+		t.Fatalf("new benchmark failed under -allow-new:\n%s", out)
+	}
+}
+
+// -allow-new must not weaken the missing-benchmark check: a tracked path
+// that vanished from the run still fails the gate.
+func TestCompareAllowNewStillFailsMissing(t *testing.T) {
+	base := []Entry{{Name: "BenchmarkGone", NsPerOp: 1000}}
+	cur := []Entry{{Name: "BenchmarkNew", NsPerOp: 1000}}
+	failed, out := runCompareOpts(t, base, cur, 0.10, true)
+	if !failed || !strings.Contains(out, "MISSING") {
+		t.Fatalf("missing benchmark passed under -allow-new:\n%s", out)
 	}
 }
 

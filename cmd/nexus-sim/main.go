@@ -46,6 +46,9 @@ func main() {
 	telemListen := flag.String("telemetry-listen", "", "serve /metrics (Prometheus text), /alerts, /health on this address (implies -telemetry)")
 	telemHold := flag.Duration("telemetry-hold", 0, "keep the telemetry endpoint up this long after the run finishes")
 	wallTimings := flag.Bool("telemetry-wall", false, "measure real plan wall time (nondeterministic; needs -telemetry)")
+	shards := flag.Int("shards", 0, "partition epoch planning across N parallel shards (0 = monolithic planner)")
+	planHyst := flag.Float64("plan-hysteresis", 0, "relative rate band within which a quiet shard skips re-planning (needs -shards)")
+	deltaRouting := flag.Bool("delta-routing", false, "push routing-table updates to frontends as per-session deltas")
 	flag.Parse()
 
 	// -trace-out without -trace records into a generously sized ring.
@@ -90,16 +93,19 @@ func main() {
 		return
 	}
 	d, err = cluster.New(cluster.Config{
-		System:        cluster.System(*system),
-		Features:      cluster.AllFeatures(),
-		GPUs:          *gpus,
-		Seed:          *seed,
-		Epoch:         *epoch,
-		FixedCluster:  *fixed,
-		TraceCapacity: *traceN,
-		Audit:         *auditOn,
-		DeferDropped:  *deferDrops,
-		Telemetry:     telemCfg,
+		System:         cluster.System(*system),
+		Features:       cluster.AllFeatures(),
+		GPUs:           *gpus,
+		Seed:           *seed,
+		Epoch:          *epoch,
+		FixedCluster:   *fixed,
+		TraceCapacity:  *traceN,
+		Audit:          *auditOn,
+		DeferDropped:   *deferDrops,
+		Telemetry:      telemCfg,
+		PlannerShards:  *shards,
+		PlanHysteresis: *planHyst,
+		DeltaRouting:   *deltaRouting,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -112,6 +112,18 @@ type Config struct {
 	// OnFailure, when set, observes every backend declared dead by the
 	// control plane.
 	OnFailure func(backendID string, at time.Duration)
+	// PlannerShards routes epoch planning through the sharded planner with
+	// this many concurrent shards (0, the default, keeps the monolithic
+	// planner and all its goldens; 1 is the degenerate sharded planner,
+	// byte-identical to monolithic).
+	PlannerShards int
+	// PlanHysteresis is the relative rate band within which a planner shard
+	// skips re-packing and carries its plan forward (requires
+	// PlannerShards >= 1; 0 disables skipping).
+	PlanHysteresis float64
+	// DeltaRouting pushes routing-table updates to frontends as per-session
+	// deltas with generation checks instead of full-table replacements.
+	DeltaRouting bool
 	// Telemetry enables the live telemetry plane: a streaming metrics
 	// registry sampled every Telemetry.Interval of virtual time, the
 	// alerting engine, and per-epoch scheduler health reports; read them
@@ -463,6 +475,10 @@ func (d *Deployment) controlConfig() globalsched.Config {
 		cfg.Squishy = false
 		cfg.ObliviousGPUs = d.cfg.GPUs
 	}
+	// Control-plane scaling knobs are orthogonal to the system kind.
+	cfg.Shards = d.cfg.PlannerShards
+	cfg.PlanHysteresis = d.cfg.PlanHysteresis
+	cfg.DeltaRouting = d.cfg.DeltaRouting
 	// Failure detection is orthogonal to the system kind.
 	cfg.Heartbeat = d.cfg.Heartbeat
 	cfg.LeaseMisses = d.cfg.LeaseMisses

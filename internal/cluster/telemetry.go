@@ -145,6 +145,24 @@ func (ts *telemetrySampler) sample() {
 	reg.Gauge("sched_plan_wall_ms").Set(telemetry.MS(d.Sched.LastPlanWall()))
 	reg.Counter("cluster_unroutable_total").Set(float64(d.unroutable))
 
+	// Sharded-planner and delta-routing counters, only when the features are
+	// on: a monolithic full-table deployment keeps its exact golden key set.
+	if d.cfg.PlannerShards >= 1 {
+		replanned, skipped, crossMoves := d.Sched.ShardTotals()
+		reg.Counter("sched_shards_replanned_total").Set(float64(replanned))
+		reg.Counter("sched_shards_skipped_total").Set(float64(skipped))
+		reg.Counter("sched_cross_shard_moves_total").Set(float64(crossMoves))
+		for k, wall := range d.Sched.LastShardStats().ShardWall {
+			reg.Gauge("sched_shard_plan_wall_ms", "shard", strconv.Itoa(k)).Set(telemetry.MS(wall))
+		}
+	}
+	if d.cfg.DeltaRouting {
+		deltas, fulls, sessions := d.Sched.RoutePushStats()
+		reg.Counter("sched_delta_pushes_total").Set(float64(deltas))
+		reg.Counter("sched_full_pushes_total").Set(float64(fulls))
+		reg.Counter("sched_delta_sessions_total").Set(float64(sessions))
+	}
+
 	ts.lastAt = now
 	d.telem.Tick(now)
 }

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"nexus/internal/backend"
@@ -48,6 +50,26 @@ func (rt RoutingTable) Validate() error {
 	return nil
 }
 
+// TableDelta is an incremental routing update: the control plane sends only
+// the sessions whose routes changed since the generation it last pushed,
+// instead of replacing the whole table. FromGen names the generation the
+// delta applies on top of; a frontend holding any other generation (it
+// missed a push, or repaired routes locally after a backend death) rejects
+// the delta with ErrStaleDelta so the control plane falls back to a full
+// SetTableGen resync.
+type TableDelta struct {
+	FromGen uint64
+	Gen     uint64
+	// Set installs (or replaces) the routes of each listed session.
+	Set map[string][]Route
+	// Remove deletes each listed session's routes (applied before Set).
+	Remove []string
+}
+
+// ErrStaleDelta reports a generation mismatch between a delta and the
+// frontend's routing state; the sender must full-resync.
+var ErrStaleDelta = errors.New("frontend: delta generation mismatch, full resync required")
+
 // DropFunc observes every request the frontend loses, with the reason:
 // DropUnroutable (no route for the session), DropOverload (target queue
 // full), DropReconfig (unit vanished in a reconfiguration race, retry
@@ -63,11 +85,24 @@ type resolvedRoute struct {
 
 // sessionState is the per-session dispatch state: resolved routes, the
 // smooth-WRR accumulator, and the rate counter. Collapsing these into one
-// struct makes Dispatch a single map lookup per request.
+// struct makes Dispatch a single map lookup per request. The count is
+// atomic so a table mutation can carry it over while a dispatch is in
+// flight; routes and wrr are written only when the state is created.
 type sessionState struct {
 	routes []resolvedRoute
 	wrr    []float64
-	count  uint64
+	count  atomic.Uint64
+}
+
+// tableState is the immutable routing snapshot the dispatch path reads:
+// the table, its resolved per-session dispatch state, and the control-plane
+// generation it corresponds to. Mutations (SetTable, ApplyDelta,
+// RemoveBackend) build a fresh snapshot and swap the pointer, so Dispatch
+// never observes a half-applied update.
+type tableState struct {
+	table    RoutingTable
+	sessions map[string]*sessionState
+	gen      uint64
 }
 
 // Frontend dispatches requests to backends.
@@ -80,19 +115,19 @@ type Frontend struct {
 	// retry enables the deadline-checked retry-once path on dead targets.
 	retry bool
 
-	table RoutingTable
+	// state is the current routing snapshot; the dispatch hot path loads it
+	// once per request. Table mutations are serialized by mu and swap in a
+	// fresh snapshot, which makes delta application safe to interleave with
+	// concurrent dispatches (the dispatcher itself is single-threaded).
+	state atomic.Pointer[tableState]
+	mu    sync.Mutex
 	// tableVersion counts routing-table changes (control-plane pushes and
 	// failure repairs), for telemetry.
-	tableVersion uint64
+	tableVersion atomic.Uint64
 	// dispatches and retries count routed requests and retry-once re-sends
 	// over the frontend's lifetime, for telemetry.
 	dispatches uint64
 	retries    uint64
-	// sessions is the resolved dispatch state, rebuilt whenever the table
-	// changes (SetTable, RemoveBackend). Route repair and resource release
-	// happen in the same simulation event, so a resolved backend pointer is
-	// never observed stale by a dispatch.
-	sessions map[string]*sessionState
 
 	// onDrop observes requests the frontend loses, with the reason.
 	onDrop DropFunc
@@ -101,9 +136,10 @@ type Frontend struct {
 	// entered the target unit's queue after the network hop) span events.
 	tracer *trace.Tracer
 
-	// Rate observation for the control plane. Live sessions count in their
-	// sessionState; residual holds counts of sessions whose routes were
-	// removed mid-window, so their traffic still shows in ObservedRates.
+	// Rate observation for the control plane (guarded by mu). Live sessions
+	// count in their sessionState; residual holds counts of sessions whose
+	// routes were removed mid-window, so their traffic still shows in
+	// ObservedRates.
 	residual   map[string]uint64
 	windowFrom time.Duration
 
@@ -176,15 +212,15 @@ func New(clock *simclock.Clock, backends map[string]*backend.Backend, netDelay t
 	if netDelay < 0 {
 		netDelay = DefaultNetDelay
 	}
-	return &Frontend{
+	f := &Frontend{
 		clock:    clock,
 		backends: backends,
 		netDelay: netDelay,
-		table:    RoutingTable{},
-		sessions: make(map[string]*sessionState),
 		onDrop:   onDrop,
 		residual: make(map[string]uint64),
 	}
+	f.state.Store(&tableState{table: RoutingTable{}, sessions: make(map[string]*sessionState)})
+	return f
 }
 
 // NetDelay returns the configured one-way dispatch latency.
@@ -209,6 +245,21 @@ func (f *Frontend) SetExtraDelay(d time.Duration) {
 
 // SetTable installs a new routing table (control plane push, §5).
 func (f *Frontend) SetTable(rt RoutingTable) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.setTableLocked(rt, f.state.Load().gen+1)
+}
+
+// SetTableGen installs a full routing table stamped with the control
+// plane's generation: the initial push and the resync path of delta
+// routing, after which subsequent deltas from that generation apply.
+func (f *Frontend) SetTableGen(rt RoutingTable, gen uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.setTableLocked(rt, gen)
+}
+
+func (f *Frontend) setTableLocked(rt RoutingTable, gen uint64) error {
 	if err := rt.Validate(); err != nil {
 		return err
 	}
@@ -219,30 +270,95 @@ func (f *Frontend) SetTable(rt RoutingTable) error {
 			}
 		}
 	}
-	f.table = rt
-	f.tableVersion++
+	cur := f.state.Load()
 	sessions := make(map[string]*sessionState, len(rt))
 	for sid, routes := range rt {
 		st := &sessionState{routes: f.resolve(routes), wrr: make([]float64, len(routes))}
 		// Rate counts survive table pushes: the count is keyed by session,
 		// not by its routes.
-		if old, ok := f.sessions[sid]; ok {
-			st.count = old.count
+		if old, ok := cur.sessions[sid]; ok {
+			st.count.Store(old.count.Load())
 		} else if n, ok := f.residual[sid]; ok {
-			st.count = n
+			st.count.Store(n)
 			delete(f.residual, sid)
 		}
 		sessions[sid] = st
 	}
 	// Sessions dropped from the table keep their window counts.
-	for sid, st := range f.sessions {
-		if _, ok := sessions[sid]; !ok && st.count > 0 {
-			f.residual[sid] += st.count
+	for sid, st := range cur.sessions {
+		if _, ok := sessions[sid]; !ok {
+			if n := st.count.Load(); n > 0 {
+				f.residual[sid] += n
+			}
 		}
 	}
-	f.sessions = sessions
+	f.state.Store(&tableState{table: rt, sessions: sessions, gen: gen})
+	f.tableVersion.Add(1)
 	return nil
 }
+
+// ApplyDelta applies an incremental routing update on top of the current
+// table. Sessions untouched by the delta keep their dispatch state —
+// including the smooth-WRR accumulator, so an unchanged session's replica
+// split is not perturbed by other sessions' route changes. Changed sessions
+// get fresh state with their rate count carried over; removed sessions move
+// their count to the residual window. A generation mismatch (missed push,
+// or local route repair after a backend death) returns ErrStaleDelta
+// without touching anything; the caller resyncs with SetTableGen.
+func (f *Frontend) ApplyDelta(d TableDelta) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := f.state.Load()
+	if cur.gen != d.FromGen {
+		return fmt.Errorf("%w (have generation %d, delta from %d)", ErrStaleDelta, cur.gen, d.FromGen)
+	}
+	if err := RoutingTable(d.Set).Validate(); err != nil {
+		return err
+	}
+	for _, routes := range d.Set {
+		for _, r := range routes {
+			if _, ok := f.backends[r.BackendID]; !ok {
+				return fmt.Errorf("frontend: route to unknown backend %s", r.BackendID)
+			}
+		}
+	}
+	table := make(RoutingTable, len(cur.table)+len(d.Set))
+	for sid, routes := range cur.table {
+		table[sid] = routes
+	}
+	sessions := make(map[string]*sessionState, len(cur.sessions)+len(d.Set))
+	for sid, st := range cur.sessions {
+		sessions[sid] = st
+	}
+	for _, sid := range d.Remove {
+		delete(table, sid)
+		if st, ok := sessions[sid]; ok {
+			if n := st.count.Load(); n > 0 {
+				f.residual[sid] += n
+			}
+			delete(sessions, sid)
+		}
+	}
+	for sid, routes := range d.Set {
+		table[sid] = routes
+		st := &sessionState{routes: f.resolve(routes), wrr: make([]float64, len(routes))}
+		if old, ok := sessions[sid]; ok {
+			st.count.Store(old.count.Load())
+		} else if n, ok := f.residual[sid]; ok {
+			st.count.Store(n)
+			delete(f.residual, sid)
+		}
+		sessions[sid] = st
+	}
+	f.state.Store(&tableState{table: table, sessions: sessions, gen: d.Gen})
+	f.tableVersion.Add(1)
+	return nil
+}
+
+// Generation returns the control-plane generation of the routing state the
+// frontend currently holds. Local route repairs bump it off the control
+// plane's sequence, which is what makes the next delta detectably stale.
+func (f *Frontend) Generation() uint64 { return f.state.Load().gen }
 
 // resolve caches the backend pointer of each route. Callers have already
 // validated that every target exists.
@@ -257,12 +373,12 @@ func (f *Frontend) resolve(routes []Route) []resolvedRoute {
 // Dispatch routes a request to a backend. Requests for sessions without a
 // route are reported unroutable (the admission-control drop path).
 func (f *Frontend) Dispatch(req workload.Request) {
-	st, ok := f.sessions[req.Session]
+	st, ok := f.state.Load().sessions[req.Session]
 	if !ok || len(st.routes) == 0 {
 		f.drop(req, backend.DropUnroutable)
 		return
 	}
-	st.count++
+	st.count.Add(1)
 	f.dispatches++
 	r := st.pick()
 	if f.tracer != nil {
@@ -294,7 +410,7 @@ func (f *Frontend) send(req workload.Request, r resolvedRoute, firstTry bool) {
 // altRoute returns the session's first route to a live backend other than
 // the one that just failed.
 func (f *Frontend) altRoute(session, exclude string) (resolvedRoute, bool) {
-	if st, ok := f.sessions[session]; ok {
+	if st, ok := f.state.Load().sessions[session]; ok {
 		for _, r := range st.routes {
 			if r.BackendID == exclude {
 				continue
@@ -321,11 +437,17 @@ func (f *Frontend) drop(req workload.Request, reason backend.Outcome) {
 // session automatically; the session's WRR accumulator is reset so stale
 // credit cannot skew the new split. Sessions whose last replica died
 // become unroutable until the control plane re-plans. Returns the number
-// of sessions whose routes changed.
+// of sessions whose routes changed. A repair advances the generation off
+// the control plane's sequence, so the next routing delta is rejected and
+// the control plane resyncs in full.
 func (f *Frontend) RemoveBackend(beID string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := f.state.Load()
 	affected := 0
 	var repaired RoutingTable
-	for sid, routes := range f.table {
+	sessions := cur.sessions
+	for sid, routes := range cur.table {
 		keep := routes[:0:0]
 		for _, r := range routes {
 			if r.BackendID != beID {
@@ -336,40 +458,44 @@ func (f *Frontend) RemoveBackend(beID string) int {
 			continue
 		}
 		if repaired == nil {
-			repaired = make(RoutingTable, len(f.table))
-			for s, rs := range f.table {
+			repaired = make(RoutingTable, len(cur.table))
+			for s, rs := range cur.table {
 				repaired[s] = rs
+			}
+			sessions = make(map[string]*sessionState, len(cur.sessions))
+			for s, st := range cur.sessions {
+				sessions[s] = st
 			}
 		}
 		affected++
-		st := f.sessions[sid]
+		st := sessions[sid]
 		if len(keep) == 0 {
 			delete(repaired, sid)
 			if st != nil {
-				if st.count > 0 {
-					f.residual[sid] += st.count
+				if n := st.count.Load(); n > 0 {
+					f.residual[sid] += n
 				}
-				delete(f.sessions, sid)
+				delete(sessions, sid)
 			}
 		} else {
 			repaired[sid] = keep
 			fresh := &sessionState{routes: f.resolve(keep), wrr: make([]float64, len(keep))}
 			if st != nil {
-				fresh.count = st.count
+				fresh.count.Store(st.count.Load())
 			}
-			f.sessions[sid] = fresh
+			sessions[sid] = fresh
 		}
 	}
 	if repaired != nil {
-		f.table = repaired
-		f.tableVersion++
+		f.state.Store(&tableState{table: repaired, sessions: sessions, gen: cur.gen + 1})
+		f.tableVersion.Add(1)
 	}
 	return affected
 }
 
 // TableVersion returns how many times the routing table has changed
 // (control-plane pushes plus failure repairs).
-func (f *Frontend) TableVersion() uint64 { return f.tableVersion }
+func (f *Frontend) TableVersion() uint64 { return f.tableVersion.Load() }
 
 // Dispatches returns how many requests this frontend has routed (excludes
 // unroutable admission drops, which never reached a backend).
@@ -401,20 +527,20 @@ func (st *sessionState) pick() resolvedRoute {
 // call, then resets the window. This feeds epoch scheduling ("load
 // statistics from the runtime", §5).
 func (f *Frontend) ObservedRates() map[string]float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := f.state.Load()
 	elapsed := (f.clock.Now() - f.windowFrom).Seconds()
-	rates := make(map[string]float64, len(f.sessions)+len(f.residual))
-	if elapsed > 0 {
-		for sid, st := range f.sessions {
-			if st.count > 0 {
-				rates[sid] = float64(st.count) / elapsed
-			}
-		}
-		for sid, n := range f.residual {
+	rates := make(map[string]float64, len(cur.sessions)+len(f.residual))
+	for sid, st := range cur.sessions {
+		if n := st.count.Swap(0); n > 0 && elapsed > 0 {
 			rates[sid] = float64(n) / elapsed
 		}
 	}
-	for _, st := range f.sessions {
-		st.count = 0
+	if elapsed > 0 {
+		for sid, n := range f.residual {
+			rates[sid] = float64(n) / elapsed
+		}
 	}
 	f.residual = make(map[string]uint64)
 	f.windowFrom = f.clock.Now()
@@ -423,10 +549,22 @@ func (f *Frontend) ObservedRates() map[string]float64 {
 
 // Sessions returns the sessions currently routable, sorted.
 func (f *Frontend) Sessions() []string {
-	out := make([]string, 0, len(f.table))
-	for sid := range f.table {
+	table := f.state.Load().table
+	out := make([]string, 0, len(table))
+	for sid := range table {
 		out = append(out, sid)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// TableSnapshot returns a deep copy of the current routing table, for
+// tests and tools that compare routing state across runs.
+func (f *Frontend) TableSnapshot() RoutingTable {
+	table := f.state.Load().table
+	out := make(RoutingTable, len(table))
+	for sid, routes := range table {
+		out[sid] = append([]Route(nil), routes...)
+	}
 	return out
 }

@@ -8,6 +8,7 @@
 package globalsched
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -112,6 +113,22 @@ type Config struct {
 	// default: wall time is nondeterministic, and determinism tests require
 	// identical telemetry streams across runs.
 	PlanWallClock bool
+	// Shards >= 1 routes squishy planning through the sharded planner:
+	// sessions partition deterministically across Shards concurrent
+	// planners, with a cross-shard rebalance step. 0 (the default) keeps
+	// the monolithic single-pass planner; Shards == 1 runs the sharded
+	// machinery degenerately and produces byte-identical plans to it.
+	Shards int
+	// PlanHysteresis is the relative rate band within which a shard skips
+	// re-packing and carries its plan forward (requires Shards >= 1;
+	// 0 disables skipping). This is the splitHysteresis idiom applied to
+	// arrival rates: small workload noise must not re-pack the cluster.
+	PlanHysteresis float64
+	// DeltaRouting pushes routing updates to frontends as per-session
+	// deltas instead of full SetTable replacements. Frontends verify a
+	// generation number and any mismatch (e.g. a local route repair after
+	// a backend death) triggers a full resync push.
+	DeltaRouting bool
 }
 
 // DefaultPlanningSlack covers round-trip dispatch latency plus margin.
@@ -169,6 +186,22 @@ type Scheduler struct {
 	// lastPlannedRates remembers the rates the last batch-oblivious plan
 	// was computed for (stability guard).
 	lastPlannedRates map[string]float64
+
+	// Sharded-planner state (Config.Shards >= 1).
+	shardPlanner   *scheduler.ShardPlanner
+	lastShardStats scheduler.ShardStats
+	// Cumulative shard counters for telemetry.
+	shardsReplanned int
+	shardsSkipped   int
+	crossShardMoves int
+
+	// Delta-routing state (Config.DeltaRouting): the generation and table
+	// of the last successful publish, plus push counters for telemetry.
+	pubGen        uint64
+	lastTable     frontend.RoutingTable
+	deltaPushes   uint64
+	fullPushes    uint64
+	deltaSessions uint64
 
 	// Failure detection state.
 	lastBeat map[string]time.Duration // backend ID -> last heartbeat time
@@ -461,6 +494,7 @@ func (s *Scheduler) auditEpoch(plan *scheduler.Plan) {
 			Backends:  append([]string(nil), s.nodeBackend[g.ID]...),
 			DutyMS:    trace.MS(g.Duty),
 			Saturated: g.Saturated,
+			Shard:     shardTag(g.ID),
 		}
 		if occ, err := g.Occupancy(profiles); err == nil {
 			rec.Occupancy = occ
@@ -492,11 +526,14 @@ func (s *Scheduler) Explain() telemetry.HealthReport {
 	now := s.clock.Now()
 	rep := telemetry.HealthReport{
 		Epoch: s.epochs, At: now, AtMS: telemetry.MS(now),
-		GPUsDemanded:  s.lastDemand,
-		GPUsAllocated: s.pool.InUse(),
-		GPUsCapacity:  s.pool.Capacity(),
-		SessionsMoved: s.lastStats.SessionsMoved,
-		PlanWallMS:    telemetry.MS(s.lastPlanWall),
+		GPUsDemanded:    s.lastDemand,
+		GPUsAllocated:   s.pool.InUse(),
+		GPUsCapacity:    s.pool.Capacity(),
+		SessionsMoved:   s.lastStats.SessionsMoved,
+		PlanWallMS:      telemetry.MS(s.lastPlanWall),
+		ShardsReplanned: s.lastShardStats.Replanned,
+		ShardsSkipped:   s.lastShardStats.Skipped,
+		CrossShardMoves: s.lastShardStats.CrossShardMoves,
 	}
 	if s.prevPlan == nil {
 		return rep
@@ -518,6 +555,7 @@ func (s *Scheduler) Explain() telemetry.HealthReport {
 				Session: a.SessionID, Node: g.ID, Replicas: replicas,
 				Batch: a.Batch, Rate: a.Rate, DutyMS: telemetry.MS(g.Duty),
 				Occupancy: occ, Headroom: 1 - occ, Reason: reason,
+				Shard: shardTag(g.ID),
 			})
 		}
 	}
@@ -933,6 +971,9 @@ func (s *Scheduler) plan(sessions []scheduler.Session) (*scheduler.Plan, error) 
 		}
 		return plan, nil
 	}
+	if s.cfg.Shards >= 1 {
+		return s.planSharded(sessions, profiles)
+	}
 	// Admission control at planning time: when demand exceeds the pool,
 	// provision for the largest rate fraction that fits and let the
 	// runtime's drop policy shed the excess (§5 "Nexus relies on admission
@@ -963,6 +1004,71 @@ func (s *Scheduler) plan(sessions []scheduler.Session) (*scheduler.Plan, error) 
 		}
 		scaled = next
 	}
+}
+
+// planSharded is the sharded counterpart of the admission-control loop:
+// each pass partitions the (possibly rate-scaled) sessions across the
+// shard planners; re-iterations force every shard dirty, since globally
+// scaled rates must reach shards the hysteresis band would otherwise skip.
+// Only the accepted pass is committed as the next epoch's baseline.
+func (s *Scheduler) planSharded(sessions []scheduler.Session, profiles map[string]*profiler.Profile) (*scheduler.Plan, error) {
+	if s.shardPlanner == nil || s.shardPlanner.Shards() != s.cfg.Shards {
+		s.shardPlanner = scheduler.NewShardPlanner(s.cfg.Shards)
+	}
+	capacity := s.pool.Capacity()
+	scaled := sessions
+	for iter := 0; ; iter++ {
+		res, err := s.shardPlanner.Plan(scaled, profiles, s.cfg.Sched, scheduler.ShardOpts{
+			Incremental: s.cfg.Incremental,
+			Hysteresis:  s.cfg.PlanHysteresis,
+			Force:       iter > 0,
+			WallClock:   s.cfg.PlanWallClock,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.lastStats = res.Stats.MoveStats
+		s.totalMoved += res.Stats.SessionsMoved
+		if iter == 0 {
+			s.lastDemand = res.Plan.GPUCount()
+		}
+		if capacity <= 0 || res.Plan.GPUCount() <= capacity {
+			s.shardPlanner.Commit(res)
+			s.lastShardStats = res.Stats
+			s.shardsReplanned += res.Stats.Replanned
+			s.shardsSkipped += res.Stats.Skipped
+			s.crossShardMoves += res.Stats.CrossShardMoves
+			return res.Plan, nil
+		}
+		if iter >= 20 {
+			return nil, fmt.Errorf("globalsched: demand needs %d GPUs, pool has %d", res.Plan.GPUCount(), capacity)
+		}
+		shrink := 0.97 * float64(capacity) / float64(res.Plan.GPUCount())
+		next := make([]scheduler.Session, len(scaled))
+		copy(next, scaled)
+		for i := range next {
+			next[i].Rate *= shrink
+		}
+		scaled = next
+	}
+}
+
+// LastShardStats returns the accepted sharded pass of the latest epoch
+// (zero value when Config.Shards == 0).
+func (s *Scheduler) LastShardStats() scheduler.ShardStats { return s.lastShardStats }
+
+// ShardTotals returns cumulative shard-planner counters: shards replanned,
+// shards skipped by the hysteresis band, and sessions migrated across
+// shards by the rebalance step.
+func (s *Scheduler) ShardTotals() (replanned, skipped, crossMoves int) {
+	return s.shardsReplanned, s.shardsSkipped, s.crossShardMoves
+}
+
+// RoutePushStats returns cumulative routing-publish counters: delta pushes
+// applied, full-table pushes (initial publishes and generation-mismatch
+// resyncs), and the total per-session entries carried by deltas.
+func (s *Scheduler) RoutePushStats() (delta, full, sessions uint64) {
+	return s.deltaPushes, s.fullPushes, s.deltaSessions
 }
 
 func (s *Scheduler) packOnce(sessions []scheduler.Session, profiles map[string]*profiler.Profile) (*scheduler.Plan, error) {
@@ -1022,12 +1128,88 @@ func (s *Scheduler) publishRoutes(plan *scheduler.Plan) error {
 			table[member] = routes
 		}
 	}
+	if !s.cfg.DeltaRouting {
+		for _, fe := range s.frontends {
+			if err := fe.SetTable(table); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return s.publishDelta(table)
+}
+
+// publishDelta pushes the new routing table as a per-session delta against
+// the last published generation. Frontends that diverged (a local route
+// repair after a backend death bumps their generation) reject the delta
+// and receive a full resync at the new generation. An empty delta means
+// every frontend already holds exactly this table — the common steady-state
+// epoch — and nothing is pushed at all.
+func (s *Scheduler) publishDelta(table frontend.RoutingTable) error {
+	set, remove := tableDiff(s.lastTable, table)
+	if s.lastTable != nil && len(set) == 0 && len(remove) == 0 {
+		s.lastTable = table
+		return nil
+	}
+	gen := s.pubGen + 1
+	delta := frontend.TableDelta{FromGen: s.pubGen, Gen: gen, Set: set, Remove: remove}
 	for _, fe := range s.frontends {
-		if err := fe.SetTable(table); err != nil {
+		if s.lastTable == nil {
+			// First publish: no baseline to delta against.
+			if err := fe.SetTableGen(table, gen); err != nil {
+				return err
+			}
+			s.fullPushes++
+			continue
+		}
+		err := fe.ApplyDelta(delta)
+		switch {
+		case err == nil:
+			s.deltaPushes++
+			s.deltaSessions += uint64(len(set) + len(remove))
+		case errors.Is(err, frontend.ErrStaleDelta):
+			if err := fe.SetTableGen(table, gen); err != nil {
+				return err
+			}
+			s.fullPushes++
+		default:
 			return err
 		}
 	}
+	s.pubGen = gen
+	s.lastTable = table
 	return nil
+}
+
+// tableDiff computes the per-session delta from prev to next: sessions
+// whose routes changed or appeared go in set, vanished sessions in remove
+// (sorted for determinism).
+func tableDiff(prev, next frontend.RoutingTable) (set map[string][]frontend.Route, remove []string) {
+	set = make(map[string][]frontend.Route)
+	for sid, routes := range next {
+		if old, ok := prev[sid]; !ok || !routesEqual(old, routes) {
+			set[sid] = routes
+		}
+	}
+	for sid := range prev {
+		if _, ok := next[sid]; !ok {
+			remove = append(remove, sid)
+		}
+	}
+	sort.Strings(remove)
+	return set, remove
+}
+
+func routesEqual(a, b []frontend.Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // sweepDead drops dead replicas from the node assignment and parks them in
@@ -1203,6 +1385,17 @@ func (s *Scheduler) replicaCounts(plan *scheduler.Plan) map[string]int {
 		counts[best]++
 	}
 	return counts
+}
+
+// shardTag renders the shard of a merged-plan node ID for audit and health
+// records ("s3/n7" -> "s3"); monolithic node IDs yield "", which JSON
+// omitempty drops, keeping unsharded goldens byte-identical.
+func shardTag(nodeID string) string {
+	k, ok := scheduler.NodeShard(nodeID)
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf("s%d", k)
 }
 
 // ratesChangedMaterially reports whether any session's rate moved more

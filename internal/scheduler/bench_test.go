@@ -59,3 +59,59 @@ func BenchmarkPackLargeScale(b *testing.B) {
 		}
 	}
 }
+
+// bench10kWorkload sizes a workload so the resulting plan lands at ~10k GPU
+// nodes — the scale regime the north star targets. Rates are inflated over
+// benchWorkload's so saturated whole-GPU allocations carry most of the GPU
+// count while the 6k-session residue keeps the merge phase (the quadratic
+// scaling wall sharding attacks) realistic.
+func bench10kWorkload() ([]Session, map[string]*profiler.Profile) {
+	sessions, profiles := benchWorkload(40, 6000)
+	for i := range sessions {
+		sessions[i].Rate *= 40
+	}
+	return sessions, profiles
+}
+
+// BenchmarkPack10kGPU is the sharded-planner sweep at 10k-GPU scale:
+// shards=1 is the monolithic baseline (the 1-shard planner is byte-identical
+// to Pack), shards=2/4/8 show the parallel-partition speedup, and
+// incremental-nochange measures a hysteresis epoch where no shard re-plans.
+func BenchmarkPack10kGPU(b *testing.B) {
+	sessions, profiles := bench10kWorkload()
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sp := NewShardPlanner(shards)
+				res, err := sp.Plan(sessions, profiles, Config{}, ShardOpts{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Plan.GPUCount() < 9000 {
+					b.Fatalf("plan has %d GPUs, want ~10k", res.Plan.GPUCount())
+				}
+			}
+		})
+	}
+	b.Run("incremental-nochange", func(b *testing.B) {
+		sp := NewShardPlanner(8)
+		opts := ShardOpts{Incremental: true, Hysteresis: 0.05}
+		res, err := sp.Plan(sessions, profiles, Config{}, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp.Commit(res)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := sp.Plan(sessions, profiles, Config{}, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.Skipped != 8 {
+				b.Fatalf("no-change epoch re-planned: %+v", res.Stats)
+			}
+		}
+	})
+}

@@ -19,22 +19,28 @@ type SessionAlloc struct {
 	Occupancy float64 `json:"occupancy"`
 	Headroom  float64 `json:"headroom"`
 	Reason    string  `json:"reason"`
+	Shard     string  `json:"shard,omitempty"`
 }
 
 // HealthReport is the global scheduler's per-epoch "explain" output: where
 // the plan put every session and why, how demand compared to what the pool
 // could grant, and which alerts were firing when the plan was applied.
 type HealthReport struct {
-	Epoch         int            `json:"epoch"`
-	At            time.Duration  `json:"-"`
-	AtMS          float64        `json:"at_ms"`
-	GPUsDemanded  int            `json:"gpus_demanded"`
-	GPUsAllocated int            `json:"gpus_allocated"`
-	GPUsCapacity  int            `json:"gpus_capacity"`
-	SessionsMoved int            `json:"sessions_moved"`
-	PlanWallMS    float64        `json:"plan_wall_ms,omitempty"`
-	Allocs        []SessionAlloc `json:"allocs"`
-	FiringAlerts  []string       `json:"firing_alerts,omitempty"`
+	Epoch         int           `json:"epoch"`
+	At            time.Duration `json:"-"`
+	AtMS          float64       `json:"at_ms"`
+	GPUsDemanded  int           `json:"gpus_demanded"`
+	GPUsAllocated int           `json:"gpus_allocated"`
+	GPUsCapacity  int           `json:"gpus_capacity"`
+	SessionsMoved int           `json:"sessions_moved"`
+	PlanWallMS    float64       `json:"plan_wall_ms,omitempty"`
+	// Sharded-planner counters (PR 6); zero and omitted for the
+	// monolithic planner so unsharded goldens are unchanged.
+	ShardsReplanned int            `json:"shards_replanned,omitempty"`
+	ShardsSkipped   int            `json:"shards_skipped,omitempty"`
+	CrossShardMoves int            `json:"cross_shard_moves,omitempty"`
+	Allocs          []SessionAlloc `json:"allocs"`
+	FiringAlerts    []string       `json:"firing_alerts,omitempty"`
 }
 
 // WriteText renders the report for terminals.

@@ -31,6 +31,7 @@ type PlacementRecord struct {
 	DutyMS    float64      `json:"duty_ms"`
 	Occupancy float64      `json:"occupancy"`
 	Saturated bool         `json:"saturated,omitempty"`
+	Shard     string       `json:"shard,omitempty"`
 	Units     []PlacedUnit `json:"units"`
 }
 
@@ -187,6 +188,9 @@ func (a *Audit) WriteText(w io.Writer) error {
 			sat := ""
 			if p.Saturated {
 				sat = " saturated"
+			}
+			if p.Shard != "" {
+				sat += " shard=" + p.Shard
 			}
 			if _, err := fmt.Fprintf(w, "  node %-12s duty=%6.2fms occ=%.3f backends=%v%s\n",
 				p.Node, p.DutyMS, p.Occupancy, p.Backends, sat); err != nil {
