@@ -49,6 +49,12 @@ func main() {
 	shards := flag.Int("shards", 0, "partition epoch planning across N parallel shards (0 = monolithic planner)")
 	planHyst := flag.Float64("plan-hysteresis", 0, "relative rate band within which a quiet shard skips re-planning (needs -shards)")
 	deltaRouting := flag.Bool("delta-routing", false, "push routing-table updates to frontends as per-session deltas")
+	leaseTTL := flag.Duration("lease-ttl", 0, "routing-table lease TTL on each frontend (0 = no leases)")
+	serveStale := flag.Bool("serve-stale", false, "keep routing on an expired lease instead of dropping (needs -lease-ttl)")
+	retryBudget := flag.Int("retry-budget", 0, "exponential-backoff dispatch retries per request (0 = retry-once semantics off)")
+	breakerN := flag.Int("breaker", 0, "consecutive dispatch failures that open a backend's circuit breaker (0 = off)")
+	breakerCool := flag.Duration("breaker-cooloff", time.Second, "open-breaker cooloff before a half-open probe (needs -breaker)")
+	recoveryCap := flag.Int("recovery-cap", 0, "max per-session route changes per post-outage push (needs -delta-routing; 0 = uncapped)")
 	flag.Parse()
 
 	// -trace-out without -trace records into a generously sized ring.
@@ -106,6 +112,13 @@ func main() {
 		PlannerShards:  *shards,
 		PlanHysteresis: *planHyst,
 		DeltaRouting:   *deltaRouting,
+
+		RouteLeaseTTL:           *leaseTTL,
+		ServeStale:              *serveStale,
+		RetryBudget:             *retryBudget,
+		BreakerThreshold:        *breakerN,
+		BreakerCooloff:          *breakerCool,
+		RecoveryMaxRouteChanges: *recoveryCap,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -26,6 +26,11 @@ const (
 	// DropFailure: the request was lost to a backend failure — queued or
 	// in flight on a node that crashed.
 	DropFailure
+	// DropAdmission: the frontend's priority-aware admission control shed
+	// the request before routing — its session exceeded its token-bucket
+	// rate during an overload, and its priority did not entitle it to the
+	// shared reserve.
+	DropAdmission
 )
 
 // Bad reports whether the outcome counts against SLO attainment.
@@ -46,6 +51,8 @@ func (o Outcome) String() string {
 		return "unroutable"
 	case DropFailure:
 		return "failure"
+	case DropAdmission:
+		return "admission"
 	default:
 		return "unknown"
 	}

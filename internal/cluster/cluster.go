@@ -10,6 +10,7 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"nexus/internal/backend"
@@ -130,6 +131,49 @@ type Config struct {
 	// via Deployment.Telemetry. nil (the default) disables the plane
 	// entirely — no instruments, no sampling tick, goldens unchanged.
 	Telemetry *telemetry.Config
+
+	// Degraded-mode survival layer. Every knob below is off by default and
+	// nil-no-op when off: a deployment that sets none of them runs the
+	// exact pre-existing instruction stream (goldens stay byte-identical).
+
+	// RouteLeaseTTL arms routing-table leases on every frontend: a table
+	// that has not seen a control-plane push (full, delta, or empty-epoch
+	// renewal) within the TTL is stale. With ServeStale the frontend keeps
+	// routing on it (counting staleness); without, stale dispatches drop
+	// unroutable — the lease-expiry-without-repair posture.
+	RouteLeaseTTL time.Duration
+	ServeStale    bool
+	// RetryBudget replaces the retry-once path with an exponential-backoff
+	// budget: up to RetryBudget re-sends per request, waiting
+	// RetryBackoff<<(attempt-1) before each (default backoff 1ms).
+	RetryBudget  int
+	RetryBackoff time.Duration
+	// BreakerThreshold arms per-backend circuit breakers on every
+	// frontend: that many consecutive dispatch failures open a backend's
+	// breaker and traffic routes around it until a half-open probe
+	// succeeds after BreakerCooloff (default 1s).
+	BreakerThreshold int
+	BreakerCooloff   time.Duration
+	// Admission installs priority-aware token-bucket admission control:
+	// per-session sustained rate + burst, with Priority > 0 sessions
+	// drawing from the shared reserve when their bucket runs dry, so
+	// overload sheds the lowest-value sessions first (DropAdmission).
+	Admission map[string]frontend.AdmissionConfig
+	// AdmissionReserveRate/Burst size the shared priority reserve bucket.
+	AdmissionReserveRate  float64
+	AdmissionReserveBurst float64
+	// RecoveryMaxRouteChanges rate-limits the first post-outage route
+	// publish to this many per-session changes per push (requires
+	// DeltaRouting); 0 disables the cap.
+	RecoveryMaxRouteChanges int
+}
+
+// degraded reports whether any degraded-mode survival knob is set; the
+// telemetry sampler keys its new instruments on it so pre-existing
+// deployments keep their exact metric key sets.
+func (c *Config) degraded() bool {
+	return c.RouteLeaseTTL > 0 || c.RetryBudget > 0 || c.BreakerThreshold > 0 ||
+		c.Admission != nil || c.RecoveryMaxRouteChanges > 0
 }
 
 // Deployment is a running simulated cluster.
@@ -157,6 +201,9 @@ type Deployment struct {
 
 	loads      []sessionLoad
 	queryLoads []queryLoad
+	// gens holds the running workload generators (filled by Run), so fault
+	// injection can modulate offered rates mid-run (faults.Surge).
+	gens []*workload.Generator
 
 	// Interval series for Figure 13.
 	Arrivals *metrics.TimeSeries
@@ -340,6 +387,45 @@ func New(cfg Config) (*Deployment, error) {
 		if cfg.RetryFailures {
 			fe.EnableRetry()
 		}
+		if cfg.RouteLeaseTTL > 0 {
+			fe.EnableRouteLease(cfg.RouteLeaseTTL, cfg.ServeStale)
+		}
+		if cfg.RetryBudget > 0 {
+			base := cfg.RetryBackoff
+			if base <= 0 {
+				base = time.Millisecond
+			}
+			fe.EnableBackoffRetry(cfg.RetryBudget, base)
+		}
+		if cfg.BreakerThreshold > 0 {
+			cooloff := cfg.BreakerCooloff
+			if cooloff <= 0 {
+				cooloff = time.Second
+			}
+			fe.EnableBreakers(cfg.BreakerThreshold, cooloff)
+			if d.audit != nil {
+				feLabel := fmt.Sprintf("%d", i)
+				fe.SetBreakerObserver(func(at time.Duration, beID, from, to string) {
+					d.audit.RecordChaos(trace.ChaosRecord{
+						AtMS: trace.MS(at), Kind: "breaker",
+						Frontend: feLabel, Backend: beID, From: from, To: to,
+					})
+				})
+			}
+		}
+		if cfg.Admission != nil {
+			sids := make([]string, 0, len(cfg.Admission))
+			for sid := range cfg.Admission {
+				sids = append(sids, sid)
+			}
+			sort.Strings(sids)
+			for _, sid := range sids {
+				fe.SetAdmission(sid, cfg.Admission[sid])
+			}
+			if cfg.AdmissionReserveRate > 0 || cfg.AdmissionReserveBurst > 0 {
+				fe.SetAdmissionReserve(cfg.AdmissionReserveRate, cfg.AdmissionReserveBurst)
+			}
+		}
 		d.Frontends = append(d.Frontends, fe)
 	}
 	d.Frontend = d.Frontends[0]
@@ -479,6 +565,7 @@ func (d *Deployment) controlConfig() globalsched.Config {
 	cfg.Shards = d.cfg.PlannerShards
 	cfg.PlanHysteresis = d.cfg.PlanHysteresis
 	cfg.DeltaRouting = d.cfg.DeltaRouting
+	cfg.RecoveryMaxRouteChanges = d.cfg.RecoveryMaxRouteChanges
 	// Failure detection is orthogonal to the system kind.
 	cfg.Heartbeat = d.cfg.Heartbeat
 	cfg.LeaseMisses = d.cfg.LeaseMisses
@@ -556,20 +643,20 @@ func (d *Deployment) Run(duration time.Duration) (float64, error) {
 	horizon := d.cfg.Warmup + duration
 	// Statistics begin after warmup.
 	d.Clock.At(d.cfg.Warmup, func() { d.collecting = true })
-	// Start generators.
+	// Start generators (kept so fault injection can modulate their rates).
 	for _, l := range d.loads {
 		l := l
-		workload.Start(d.Clock, d.rng, l.spec.ID, l.spec.SLO, l.proc, horizon, func(r workload.Request) {
+		d.gens = append(d.gens, workload.Start(d.Clock, d.rng, l.spec.ID, l.spec.SLO, l.proc, horizon, func(r workload.Request) {
 			d.dispatchStandalone(r)
-		})
+		}))
 	}
 	for _, ql := range d.queryLoads {
 		ql := ql
 		// The generator's SLO field is the whole-query SLO; per-stage
 		// deadlines are assigned at dispatch.
-		workload.Start(d.Clock, d.rng, ql.spec.Query.Name, ql.spec.Query.SLO, ql.proc, horizon, func(r workload.Request) {
+		d.gens = append(d.gens, workload.Start(d.Clock, d.rng, ql.spec.Query.Name, ql.spec.Query.SLO, ql.proc, horizon, func(r workload.Request) {
 			d.startQuery(ql.spec, r)
-		})
+		}))
 	}
 	// GPU usage sampling.
 	sampler := d.Clock.StartTicker(time.Second, func() {
@@ -742,6 +829,8 @@ func (d *Deployment) countLoss(s *metrics.SessionStats, outcome backend.Outcome)
 		s.Overload++
 	case backend.DropFailure:
 		s.Failed++
+	case backend.DropAdmission:
+		s.Admission++
 	default:
 		s.Dropped++
 	}

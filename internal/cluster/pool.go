@@ -30,6 +30,13 @@ type Pool struct {
 	// down parks crashed backends: not grantable until Restart revives
 	// them, so Capacity shrinks while they are dead.
 	down []*backend.Backend
+	// isolated marks backends behind a severed control link: the cluster
+	// manager cannot reach them either, so a Release (e.g. a false-positive
+	// failure declaration) parks them in lost — still serving, but not
+	// grantable and NOT reset — until the link heals and Reclaim recycles
+	// them.
+	isolated map[string]bool
+	lost     []*backend.Backend
 }
 
 // NewPool creates a pool of up to capacity GPUs of the given type.
@@ -52,7 +59,8 @@ func (p *Pool) Acquire() (string, *backend.Backend, error) {
 	}
 	// Dead parked nodes still occupy their physical slot: a crashed GPU's
 	// capacity is gone until Restart revives it, never re-granted fresh.
-	if len(p.backends)+len(p.down) >= p.capacity {
+	// Likewise lost nodes: a partitioned GPU is unreachable, not spare.
+	if len(p.backends)+len(p.down)+len(p.lost) >= p.capacity {
 		return "", nil, fmt.Errorf("cluster: pool exhausted (%d/%d GPUs grantable)", len(p.backends), p.Capacity())
 	}
 	id := fmt.Sprintf("be%d", p.next)
@@ -83,8 +91,62 @@ func (p *Pool) Release(id string) {
 		p.down = append(p.down, be)
 		return
 	}
+	if p.isolated[id] {
+		// Split brain: the scheduler declared an unreachable-but-alive node
+		// dead. The cluster manager cannot reach it either, so it keeps its
+		// queues and keeps serving in the dark; Reclaim recycles it once the
+		// partition heals.
+		p.lost = append(p.lost, be)
+		return
+	}
 	be.Reset()
 	p.free = append(p.free, be)
+}
+
+// Isolate marks (or unmarks) a backend as behind a severed control link.
+// While isolated, releasing it parks it in the lost set instead of
+// recycling it.
+func (p *Pool) Isolate(id string, cut bool) {
+	if p.isolated == nil {
+		p.isolated = make(map[string]bool)
+	}
+	if cut {
+		p.isolated[id] = true
+	} else {
+		delete(p.isolated, id)
+	}
+}
+
+// Lost reports whether a backend is parked in the lost set (released while
+// isolated).
+func (p *Pool) Lost(id string) bool {
+	for _, be := range p.lost {
+		if be.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Reclaim recycles a lost node after its partition healed and its
+// re-registration was rejected (the scheduler replaced it): its stale
+// state is wiped and it rejoins the free list as fresh grantable capacity.
+// Returns false if the ID is not in the lost set.
+func (p *Pool) Reclaim(id string) bool {
+	for i, be := range p.lost {
+		if be.ID == id {
+			p.lost = append(p.lost[:i], p.lost[i+1:]...)
+			if be.Alive() {
+				be.Reset()
+				p.free = append(p.free, be)
+			} else {
+				// Died while lost: park it dead, like any crashed node.
+				p.down = append(p.down, be)
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // Restart revives a crashed backend. A node still assigned restarts in
@@ -117,8 +179,9 @@ func (p *Pool) Get(id string) *backend.Backend { return p.backends[id] }
 func (p *Pool) InUse() int { return len(p.backends) }
 
 // Capacity returns the pool's grantable GPU capacity — the configured size
-// minus nodes currently dead, so the packer never plans onto a crashed GPU.
-func (p *Pool) Capacity() int { return p.capacity - len(p.down) }
+// minus nodes currently dead or lost behind a partition, so the packer
+// never plans onto a GPU it cannot reach.
+func (p *Pool) Capacity() int { return p.capacity - len(p.down) - len(p.lost) }
 
 // TotalBusy sums busy time across in-use backends.
 func (p *Pool) TotalBusy() (busy int64) {

@@ -84,6 +84,32 @@ func (ts *telemetrySampler) sample() {
 		reg.Gauge("frontend_table_version", "frontend", l).Set(float64(fe.TableVersion()))
 	}
 
+	// Degraded-mode survival instruments, only when the layer is on: a
+	// deployment without it keeps its exact pre-existing metric key set.
+	if d.cfg.degraded() {
+		for i, fe := range d.Frontends {
+			l := strconv.Itoa(i)
+			reg.Gauge("frontend_route_staleness_ms", "frontend", l).Set(telemetry.MS(fe.RouteStaleness()))
+			reg.Counter("frontend_stale_served_total", "frontend", l).Set(float64(fe.StaleServed()))
+			reg.Gauge("frontend_breakers_open", "frontend", l).Set(float64(fe.OpenBreakers()))
+			reg.Counter("frontend_breaker_transitions_total", "frontend", l).Set(float64(fe.BreakerTransitions()))
+			reg.Counter("frontend_admission_shed_total", "frontend", l).Set(float64(fe.AdmissionSheds()))
+		}
+		for _, sid := range d.Recorder.SessionIDs() {
+			s := d.Recorder.Session(sid)
+			reg.Counter("session_drops_total", "session", sid, "cause", "admission").Set(float64(s.Admission))
+		}
+		down := 0.0
+		if d.Sched.Down() {
+			down = 1
+		}
+		reg.Gauge("sched_down").Set(down)
+		reg.Counter("sched_recoveries_total").Set(float64(d.Sched.Recoveries()))
+		reg.Counter("sched_stale_echoes_total").Set(float64(d.Sched.StaleEchoes()))
+		reg.Counter("sched_reregistered_total").Set(float64(d.Sched.Reregistered()))
+		reg.Counter("sched_capped_pushes_total").Set(float64(d.Sched.CappedPushes()))
+	}
+
 	// Per-backend data-plane state. Live backends export real values;
 	// backends that left the pool export zeros, keeping key sets stable.
 	live := make(map[string]bool)

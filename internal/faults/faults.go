@@ -1,10 +1,11 @@
 // Package faults is a deterministic, seeded fault-injection engine for a
 // simulated Nexus cluster. A Script of timed fault events — permanent
-// crashes, transient crashes with restart, straggler slowdowns, and
-// network-delay spikes — is scheduled against a running deployment on the
-// simulation clock, so a chaos experiment is exactly as reproducible as a
-// fault-free one: same seed, same script, same event sequence, byte-equal
-// results at any test parallelism.
+// crashes, transient crashes with restart, straggler slowdowns,
+// network-delay spikes, control-plane outages, asymmetric network
+// partitions, and traffic surges — is scheduled against a running
+// deployment on the simulation clock, so a chaos experiment is exactly as
+// reproducible as a fault-free one: same seed, same script, same event
+// sequence, byte-equal results at any test parallelism.
 package faults
 
 import (
@@ -27,8 +28,28 @@ const (
 	// Duration (0 = until the end of the run).
 	Straggler
 	// NetDelay adds Delay to every frontend dispatch hop for Duration
-	// (0 = until the end of the run).
+	// (0 = permanent: the delay is pinned until explicitly cleared).
 	NetDelay
+	// SchedulerOutage takes the global scheduler down for Duration (0 =
+	// rest of the run): no epoch planning, no route pushes, no lease
+	// monitoring. The data plane keeps serving on its last routing table.
+	SchedulerOutage
+	// Partition cuts one direction-pair of the network asymmetrically for
+	// Duration (0 = rest of the run). Link selects which hop: ControlLink
+	// severs scheduler<->backend (heartbeats are lost while the backend
+	// still serves, exercising false-positive failure detection and
+	// incarnation-checked reconciliation at heal time); DataLink severs
+	// frontend<->backend (dispatches fail while the scheduler still sees a
+	// healthy node, exercising retry budgets and circuit breakers).
+	Partition
+	// Surge multiplies a session's offered arrival rate by Factor for
+	// Duration (0 = rest of the run). Session selects the target; empty
+	// surges every session.
+	Surge
+	// Noop is never scripted: the injector records one Noop injection when
+	// Schedule is called with an empty script, so chaos experiment logs
+	// always reconcile with the scripts that produced them.
+	Noop
 )
 
 // String names the kind for logs and tables.
@@ -40,6 +61,38 @@ func (k Kind) String() string {
 		return "straggler"
 	case NetDelay:
 		return "netdelay"
+	case SchedulerOutage:
+		return "schedoutage"
+	case Partition:
+		return "partition"
+	case Surge:
+		return "surge"
+	case Noop:
+		return "noop"
+	default:
+		return "unknown"
+	}
+}
+
+// Link selects which hop a Partition event severs.
+type Link int
+
+const (
+	// ControlLink is the scheduler<->backend hop: heartbeats and control
+	// RPCs are lost, the data plane is untouched.
+	ControlLink Link = iota
+	// DataLink is the frontend<->backend hop: dispatches to the backend
+	// fail, heartbeats still flow.
+	DataLink
+)
+
+// String names the link for logs.
+func (l Link) String() string {
+	switch l {
+	case ControlLink:
+		return "control"
+	case DataLink:
+		return "data"
 	default:
 		return "unknown"
 	}
@@ -53,14 +106,19 @@ type Event struct {
 	Kind Kind
 	// Backend targets a specific backend ID; empty picks one of the
 	// backends in use at fire time, via the injector's seeded RNG.
-	// Ignored by NetDelay.
+	// Ignored by NetDelay, SchedulerOutage, and Surge.
 	Backend string
 	// Duration bounds the fault (see each Kind); 0 = permanent.
 	Duration time.Duration
-	// Factor is the Straggler slowdown multiplier (e.g. 4 = 4x slower).
+	// Factor is the Straggler slowdown multiplier (e.g. 4 = 4x slower) or
+	// the Surge rate multiplier (e.g. 3 = 3x the offered rate).
 	Factor float64
 	// Delay is the NetDelay spike added per dispatch hop.
 	Delay time.Duration
+	// Link selects the severed hop for Partition events.
+	Link Link
+	// Session targets a Surge at one session; empty surges every session.
+	Session string
 }
 
 // Script is a set of fault events.
@@ -76,7 +134,7 @@ func (s Script) Validate() error {
 			return fmt.Errorf("faults: event %d has negative duration %v", i, e.Duration)
 		}
 		switch e.Kind {
-		case Crash:
+		case Crash, SchedulerOutage:
 		case Straggler:
 			if e.Factor <= 1 {
 				return fmt.Errorf("faults: straggler event %d needs factor > 1, got %v", i, e.Factor)
@@ -84,6 +142,14 @@ func (s Script) Validate() error {
 		case NetDelay:
 			if e.Delay <= 0 {
 				return fmt.Errorf("faults: netdelay event %d needs a positive delay, got %v", i, e.Delay)
+			}
+		case Partition:
+			if e.Link != ControlLink && e.Link != DataLink {
+				return fmt.Errorf("faults: partition event %d has unknown link %d", i, int(e.Link))
+			}
+		case Surge:
+			if e.Factor <= 0 {
+				return fmt.Errorf("faults: surge event %d needs factor > 0, got %v", i, e.Factor)
 			}
 		default:
 			return fmt.Errorf("faults: event %d has unknown kind %d", i, int(e.Kind))
@@ -107,12 +173,35 @@ type Target interface {
 	SetExtraNetDelay(d time.Duration)
 }
 
+// DegradedTarget is the extended fault surface for control-plane and
+// admission faults (SchedulerOutage, Partition, Surge). Targets that do
+// not implement it record those injections as not applied, so old targets
+// keep working against new scripts.
+type DegradedTarget interface {
+	// SetSchedulerOutage takes the global scheduler down (true) or brings
+	// it back up (false, triggering recovery); false when the transition
+	// was not applicable (already in that state).
+	SetSchedulerOutage(down bool) bool
+	// CutLink severs (cut) or heals one directional link pair to a
+	// backend; false when the backend is unknown or the link was already
+	// in that state.
+	CutLink(link Link, backendID string, cut bool) bool
+	// SetRateMultiplier scales a session's offered arrival rate (session
+	// "" scales every session; factor 1 restores nominal). False when the
+	// target cannot modulate its workload.
+	SetRateMultiplier(session string, factor float64) bool
+}
+
 // Injection records one fired fault for the experiment log.
 type Injection struct {
 	At      time.Duration
 	Kind    Kind
-	Backend string // resolved target ("" for NetDelay)
-	Applied bool   // false when the target no longer existed
+	Backend string // resolved target ("" for non-backend faults)
+	Applied bool   // false when the fault could not be applied
+	// Note explains an unapplied injection ("no live backends", "target
+	// does not support partitions", "empty script"), so experiment logs
+	// reconcile with their scripts instead of silently dropping events.
+	Note string
 }
 
 // Injector schedules fault scripts against a target on the sim clock.
@@ -121,9 +210,13 @@ type Injector struct {
 	target Target
 	rng    *rand.Rand
 	log    []Injection
-	// netUntil tracks the furthest end of any active NetDelay window, so
-	// overlapping spikes do not clear each other early.
+	// netUntil tracks the furthest end of any active bounded NetDelay
+	// window, so overlapping spikes do not clear each other early.
 	netUntil time.Duration
+	// netPinned marks an active permanent (Duration 0) NetDelay spike: the
+	// delay stays applied until ClearNetDelay, no matter how many earlier
+	// bounded windows expire after it fired.
+	netPinned bool
 }
 
 // New creates an injector. The seed drives random target selection only;
@@ -134,10 +227,17 @@ func New(clock *simclock.Clock, target Target, seed int64) *Injector {
 
 // Schedule validates a script and arms every event on the clock. Call
 // before (or during) the run; events in the past of the clock fire on the
-// next clock step.
+// next clock step. An empty script arms nothing but records one Noop
+// injection, so a log that should have N entries never silently has none.
 func (in *Injector) Schedule(script Script) error {
 	if err := in.Validate(script); err != nil {
 		return err
+	}
+	if len(script) == 0 {
+		in.log = append(in.log, Injection{
+			At: in.clock.Now(), Kind: Noop, Applied: false, Note: "empty script",
+		})
+		return nil
 	}
 	for _, e := range script {
 		e := e
@@ -154,6 +254,19 @@ func (in *Injector) Log() []Injection {
 	return append([]Injection(nil), in.log...)
 }
 
+// ClearNetDelay explicitly clears any injected network delay, including a
+// pinned permanent spike.
+func (in *Injector) ClearNetDelay() {
+	in.netPinned = false
+	in.netUntil = 0
+	in.target.SetExtraNetDelay(0)
+}
+
+// record appends one injection to the log.
+func (in *Injector) record(at time.Duration, kind Kind, backend string, applied bool, note string) {
+	in.log = append(in.log, Injection{At: at, Kind: kind, Backend: backend, Applied: applied, Note: note})
+}
+
 // fire applies one event at its scheduled time.
 func (in *Injector) fire(e Event) {
 	now := in.clock.Now()
@@ -161,7 +274,7 @@ func (in *Injector) fire(e Event) {
 	case Crash:
 		id, ok := in.resolve(e.Backend)
 		applied := ok && in.target.CrashBackend(id)
-		in.log = append(in.log, Injection{At: now, Kind: e.Kind, Backend: id, Applied: applied})
+		in.record(now, e.Kind, id, applied, in.resolveNote(ok, applied))
 		if applied && e.Duration > 0 {
 			in.clock.At(now+e.Duration, func() {
 				in.target.RestartBackend(id)
@@ -170,7 +283,7 @@ func (in *Injector) fire(e Event) {
 	case Straggler:
 		id, ok := in.resolve(e.Backend)
 		applied := ok && in.target.SlowBackend(id, e.Factor)
-		in.log = append(in.log, Injection{At: now, Kind: e.Kind, Backend: id, Applied: applied})
+		in.record(now, e.Kind, id, applied, in.resolveNote(ok, applied))
 		if applied && e.Duration > 0 {
 			in.clock.At(now+e.Duration, func() {
 				in.target.SlowBackend(id, 1)
@@ -178,18 +291,78 @@ func (in *Injector) fire(e Event) {
 		}
 	case NetDelay:
 		in.target.SetExtraNetDelay(e.Delay)
-		in.log = append(in.log, Injection{At: now, Kind: e.Kind, Applied: true})
-		if e.Duration > 0 {
-			until := now + e.Duration
-			if until > in.netUntil {
-				in.netUntil = until
+		in.record(now, e.Kind, "", true, "")
+		if e.Duration == 0 {
+			// Permanent spike: pin the delay so the expiry of any earlier
+			// bounded window cannot clear it.
+			in.netPinned = true
+			return
+		}
+		until := now + e.Duration
+		if until > in.netUntil {
+			in.netUntil = until
+		}
+		in.clock.At(until, func() {
+			if !in.netPinned && in.clock.Now() >= in.netUntil {
+				in.target.SetExtraNetDelay(0)
 			}
-			in.clock.At(until, func() {
-				if in.clock.Now() >= in.netUntil {
-					in.target.SetExtraNetDelay(0)
-				}
+		})
+	case SchedulerOutage:
+		dt, ok := in.target.(DegradedTarget)
+		applied := ok && dt.SetSchedulerOutage(true)
+		in.record(now, e.Kind, "", applied, in.degradedNote(ok, applied))
+		if applied && e.Duration > 0 {
+			in.clock.At(now+e.Duration, func() {
+				dt.SetSchedulerOutage(false)
 			})
 		}
+	case Partition:
+		dt, dok := in.target.(DegradedTarget)
+		if !dok {
+			in.record(now, e.Kind, e.Backend, false, "target does not support degraded faults")
+			return
+		}
+		id, ok := in.resolve(e.Backend)
+		applied := ok && dt.CutLink(e.Link, id, true)
+		in.record(now, e.Kind, id, applied, in.resolveNote(ok, applied))
+		if applied && e.Duration > 0 {
+			in.clock.At(now+e.Duration, func() {
+				dt.CutLink(e.Link, id, false)
+			})
+		}
+	case Surge:
+		dt, ok := in.target.(DegradedTarget)
+		applied := ok && dt.SetRateMultiplier(e.Session, e.Factor)
+		in.record(now, e.Kind, "", applied, in.degradedNote(ok, applied))
+		if applied && e.Duration > 0 {
+			in.clock.At(now+e.Duration, func() {
+				dt.SetRateMultiplier(e.Session, 1)
+			})
+		}
+	}
+}
+
+// resolveNote explains an unapplied backend-targeted injection.
+func (in *Injector) resolveNote(resolved, applied bool) string {
+	switch {
+	case applied:
+		return ""
+	case !resolved:
+		return "no live backends"
+	default:
+		return "target rejected the fault"
+	}
+}
+
+// degradedNote explains an unapplied degraded-mode injection.
+func (in *Injector) degradedNote(supported, applied bool) string {
+	switch {
+	case applied:
+		return ""
+	case !supported:
+		return "target does not support degraded faults"
+	default:
+		return "target rejected the fault"
 	}
 }
 

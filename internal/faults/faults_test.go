@@ -72,6 +72,49 @@ func (t *fakeTarget) SetExtraNetDelay(d time.Duration) {
 	t.record("netdelay %v", d)
 }
 
+// fakeDegradedTarget extends fakeTarget with the DegradedTarget surface.
+type fakeDegradedTarget struct {
+	*fakeTarget
+	schedDown bool
+	cut       map[string]bool // "link/backend" -> severed
+	rate      map[string]float64
+}
+
+func newFakeDegradedTarget(clock *simclock.Clock, ids ...string) *fakeDegradedTarget {
+	return &fakeDegradedTarget{
+		fakeTarget: newFakeTarget(clock, ids...),
+		cut:        make(map[string]bool),
+		rate:       make(map[string]float64),
+	}
+}
+
+func (t *fakeDegradedTarget) SetSchedulerOutage(down bool) bool {
+	if t.schedDown == down {
+		t.record("schedoutage %v refused", down)
+		return false
+	}
+	t.schedDown = down
+	t.record("schedoutage %v", down)
+	return true
+}
+
+func (t *fakeDegradedTarget) CutLink(link Link, backendID string, cut bool) bool {
+	key := link.String() + "/" + backendID
+	if t.cut[key] == cut {
+		t.record("cutlink %s %v refused", key, cut)
+		return false
+	}
+	t.cut[key] = cut
+	t.record("cutlink %s %v", key, cut)
+	return true
+}
+
+func (t *fakeDegradedTarget) SetRateMultiplier(session string, factor float64) bool {
+	t.rate[session] = factor
+	t.record("surge %q %.1f", session, factor)
+	return true
+}
+
 func TestScriptValidate(t *testing.T) {
 	cases := []struct {
 		name   string
@@ -88,6 +131,12 @@ func TestScriptValidate(t *testing.T) {
 		{"straggler factor 1", Script{{Kind: Straggler, Factor: 1}}, false},
 		{"straggler factor 0", Script{{Kind: Straggler}}, false},
 		{"netdelay no delay", Script{{Kind: NetDelay}}, false},
+		{"scheduler outage", Script{{At: time.Second, Kind: SchedulerOutage, Duration: time.Second}}, true},
+		{"partition control", Script{{At: time.Second, Kind: Partition, Link: ControlLink}}, true},
+		{"partition data", Script{{At: time.Second, Kind: Partition, Backend: "a", Link: DataLink}}, true},
+		{"partition bad link", Script{{Kind: Partition, Link: Link(7)}}, false},
+		{"surge", Script{{At: time.Second, Kind: Surge, Session: "s", Factor: 3}}, true},
+		{"surge no factor", Script{{Kind: Surge, Session: "s"}}, false},
 		{"unknown kind", Script{{Kind: Kind(99)}}, false},
 	}
 	for _, c := range cases {
@@ -245,6 +294,183 @@ func TestRandomSelectionNoBackends(t *testing.T) {
 	log := in.Log()
 	if len(log) != 1 || log[0].Applied || log[0].Backend != "" {
 		t.Fatalf("log = %+v, want one unapplied injection with no target", log)
+	}
+}
+
+// Regression: a bounded spike's expiry used to clear a later permanent
+// (Duration 0) spike, because netUntil only tracked bounded windows.
+func TestBoundedThenPermanentNetDelay(t *testing.T) {
+	clock := simclock.New()
+	tgt := newFakeTarget(clock, "a")
+	in := New(clock, tgt, 1)
+	err := in.Schedule(Script{
+		{At: 1 * time.Second, Kind: NetDelay, Delay: 5 * time.Millisecond, Duration: 3 * time.Second},
+		{At: 2 * time.Second, Kind: NetDelay, Delay: 9 * time.Millisecond}, // permanent
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Run() // the bounded window's expiry at 4s fires here
+	if tgt.net != 9*time.Millisecond {
+		t.Fatalf("permanent spike cleared by bounded window expiry: net = %v, want 9ms", tgt.net)
+	}
+	in.ClearNetDelay()
+	if tgt.net != 0 {
+		t.Fatalf("net delay after explicit clear = %v, want 0", tgt.net)
+	}
+}
+
+// A cleared pin must not suppress the expiry of later bounded windows.
+func TestClearNetDelayUnpins(t *testing.T) {
+	clock := simclock.New()
+	tgt := newFakeTarget(clock, "a")
+	in := New(clock, tgt, 1)
+	if err := in.Schedule(Script{
+		{At: 1 * time.Second, Kind: NetDelay, Delay: 9 * time.Millisecond}, // permanent
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntil(2 * time.Second)
+	in.ClearNetDelay()
+	if err := in.Schedule(Script{
+		{At: 3 * time.Second, Kind: NetDelay, Delay: 4 * time.Millisecond, Duration: time.Second},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Run()
+	if tgt.net != 0 {
+		t.Fatalf("bounded window after unpin did not expire: net = %v, want 0", tgt.net)
+	}
+}
+
+// An empty script records one unapplied Noop injection so chaos logs
+// reconcile with scripts instead of silently being empty.
+func TestEmptyScriptLogsNoop(t *testing.T) {
+	clock := simclock.New()
+	tgt := newFakeTarget(clock, "a")
+	in := New(clock, tgt, 1)
+	if err := in.Schedule(nil); err != nil {
+		t.Fatal(err)
+	}
+	log := in.Log()
+	if len(log) != 1 || log[0].Kind != Noop || log[0].Applied || log[0].Note != "empty script" {
+		t.Fatalf("log = %+v, want one unapplied noop injection", log)
+	}
+	clock.Run()
+	if len(tgt.calls) != 0 {
+		t.Fatalf("empty script fired calls: %v", tgt.calls)
+	}
+}
+
+// Unresolvable events carry an explanatory note in the log.
+func TestUnresolvableEventNote(t *testing.T) {
+	clock := simclock.New()
+	tgt := newFakeTarget(clock) // no backends
+	in := New(clock, tgt, 1)
+	if err := in.Schedule(Script{{At: time.Second, Kind: Crash}}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Run()
+	log := in.Log()
+	if len(log) != 1 || log[0].Applied || log[0].Note != "no live backends" {
+		t.Fatalf("log = %+v, want unapplied injection with note", log)
+	}
+}
+
+func TestSchedulerOutageWindow(t *testing.T) {
+	clock := simclock.New()
+	tgt := newFakeDegradedTarget(clock, "a")
+	in := New(clock, tgt, 1)
+	err := in.Schedule(Script{
+		{At: 2 * time.Second, Kind: SchedulerOutage, Duration: 3 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntil(3 * time.Second)
+	if !tgt.schedDown {
+		t.Fatal("scheduler not down during outage window")
+	}
+	clock.Run()
+	if tgt.schedDown {
+		t.Fatal("scheduler still down after outage window")
+	}
+	log := in.Log()
+	if len(log) != 1 || !log[0].Applied || log[0].Kind != SchedulerOutage {
+		t.Fatalf("log = %+v", log)
+	}
+}
+
+func TestPartitionCutsAndHeals(t *testing.T) {
+	clock := simclock.New()
+	tgt := newFakeDegradedTarget(clock, "a", "b")
+	in := New(clock, tgt, 1)
+	err := in.Schedule(Script{
+		{At: 1 * time.Second, Kind: Partition, Backend: "b", Link: ControlLink, Duration: 2 * time.Second},
+		{At: 1 * time.Second, Kind: Partition, Backend: "b", Link: DataLink}, // permanent
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntil(2 * time.Second)
+	if !tgt.cut["control/b"] || !tgt.cut["data/b"] {
+		t.Fatalf("links not cut: %v", tgt.cut)
+	}
+	clock.Run()
+	if tgt.cut["control/b"] {
+		t.Fatal("control link not healed after bounded partition")
+	}
+	if !tgt.cut["data/b"] {
+		t.Fatal("permanent data partition healed itself")
+	}
+}
+
+func TestSurgeWindowRestoresRate(t *testing.T) {
+	clock := simclock.New()
+	tgt := newFakeDegradedTarget(clock, "a")
+	in := New(clock, tgt, 1)
+	err := in.Schedule(Script{
+		{At: 1 * time.Second, Kind: Surge, Session: "lo", Factor: 3, Duration: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntil(2 * time.Second)
+	if tgt.rate["lo"] != 3 {
+		t.Fatalf("surge multiplier during window = %v, want 3", tgt.rate["lo"])
+	}
+	clock.Run()
+	if tgt.rate["lo"] != 1 {
+		t.Fatalf("surge multiplier after window = %v, want 1", tgt.rate["lo"])
+	}
+}
+
+// Degraded-mode events against a target that lacks the DegradedTarget
+// surface log unapplied injections with a note instead of panicking.
+func TestDegradedEventsOnPlainTarget(t *testing.T) {
+	clock := simclock.New()
+	tgt := newFakeTarget(clock, "a")
+	in := New(clock, tgt, 1)
+	err := in.Schedule(Script{
+		{At: 1 * time.Second, Kind: SchedulerOutage, Duration: time.Second},
+		{At: 2 * time.Second, Kind: Partition, Backend: "a", Link: DataLink},
+		{At: 3 * time.Second, Kind: Surge, Session: "s", Factor: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Run()
+	log := in.Log()
+	if len(log) != 3 {
+		t.Fatalf("log has %d entries, want 3: %+v", len(log), log)
+	}
+	for _, inj := range log {
+		if inj.Applied || inj.Note != "target does not support degraded faults" {
+			t.Fatalf("injection = %+v, want unapplied with unsupported note", inj)
+		}
+	}
+	if len(tgt.calls) != 0 {
+		t.Fatalf("plain target received degraded calls: %v", tgt.calls)
 	}
 }
 

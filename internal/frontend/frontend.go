@@ -71,9 +71,11 @@ type TableDelta struct {
 var ErrStaleDelta = errors.New("frontend: delta generation mismatch, full resync required")
 
 // DropFunc observes every request the frontend loses, with the reason:
-// DropUnroutable (no route for the session), DropOverload (target queue
-// full), DropReconfig (unit vanished in a reconfiguration race, retry
-// exhausted) or DropFailure (target backend dead, retry exhausted).
+// DropUnroutable (no route for the session, or route lease expired),
+// DropOverload (target queue full), DropReconfig (unit vanished in a
+// reconfiguration race, retry exhausted), DropFailure (target backend
+// dead or unreachable, retry exhausted) or DropAdmission (shed by
+// token-bucket admission control before routing).
 type DropFunc func(req workload.Request, reason backend.Outcome)
 
 // resolvedRoute is a Route with its backend pointer resolved at table-push
@@ -146,32 +148,69 @@ type Frontend struct {
 	// sendPool recycles in-flight send state (and its bound delivery
 	// callback) so the per-request network hop allocates nothing.
 	sendPool []*pendingSend
+
+	// Degraded-mode survival state (see degraded.go). All nil/zero when the
+	// layer is off, so the hot path pays one nil check per feature.
+	// retryBudget/retryBase replace the retry-once path when budget > 0.
+	retryBudget int
+	retryBase   time.Duration
+	// leaseTTL > 0 arms routing-table leases: lastPush (unix nanos of the
+	// newest control-plane push, atomic because Dispatch reads it without
+	// mu) ages against it, and expired tables either serve stale (counted)
+	// or stop routing.
+	leaseTTL    time.Duration
+	serveStale  bool
+	lastPush    atomic.Int64
+	staleServed uint64
+	// breakers holds per-backend circuit state; touched only on the clock
+	// goroutine (deliver/pick/altRoute), like dispatches.
+	breakers           map[string]*breaker
+	breakerThreshold   int
+	breakerCooloff     time.Duration
+	breakerTransitions uint64
+	onBreaker          BreakerObserver
+	// linkDown marks backends behind a severed frontend<->backend link
+	// (data partition): alive from the scheduler's view, unreachable here.
+	linkDown map[string]bool
+	// admission holds per-session token buckets; reserve is the shared
+	// priority pool. admissionSheds counts DropAdmission outcomes.
+	admission      map[string]*tokenBucket
+	reserve        *tokenBucket
+	admissionSheds uint64
 }
 
 // pendingSend is one request in flight across the frontend->backend network
 // delay. Pooled on the frontend; deliver copies its fields out and releases
 // the object before acting, so a nested retry may safely reuse it.
 type pendingSend struct {
-	f        *Frontend
-	req      workload.Request
-	r        resolvedRoute
-	firstTry bool
-	fire     func() // bound deliver
+	f       *Frontend
+	req     workload.Request
+	r       resolvedRoute
+	attempt int    // 1 on the first try
+	fire    func() // bound deliver
 }
 
 func (p *pendingSend) deliver() {
-	f, req, r, firstTry := p.f, p.req, p.r, p.firstTry
+	f, req, r, attempt := p.f, p.req, p.r, p.attempt
 	p.req, p.r = workload.Request{}, resolvedRoute{}
 	f.sendPool = append(f.sendPool, p)
 
 	var err error
-	if r.be == nil {
+	switch {
+	case r.be == nil:
 		err = backend.ErrBackendDown
-	} else {
+	case f.linkDown != nil && f.linkDown[r.BackendID]:
+		// A severed frontend<->backend link looks exactly like a dead node
+		// from this side: the dispatch is lost.
+		err = backend.ErrBackendDown
+	default:
 		err = r.be.Enqueue(r.UnitID, req)
 	}
 	switch {
 	case err == nil:
+		if f.breakers != nil {
+			f.breakerSuccess(r.BackendID)
+		}
 		if f.tracer != nil {
 			now := f.clock.Now()
 			f.tracer.Record(trace.Event{
@@ -183,18 +222,35 @@ func (p *pendingSend) deliver() {
 	case errors.Is(err, backend.ErrQueueFull):
 		// Overload is the drop policy's job, not the retry path's:
 		// bouncing the request to another replica would just smear the
-		// hotspot.
+		// hotspot. It is not a breaker signal either — the node is healthy.
 		f.drop(req, backend.DropOverload)
 	default:
 		reason := backend.DropFailure
 		if errors.Is(err, backend.ErrUnitRemoved) {
 			reason = backend.DropReconfig
 		}
-		if f.retry && firstTry {
+		if f.breakers != nil {
+			f.breakerFailure(r.BackendID)
+		}
+		if f.retryBudget > 0 {
+			// Exponential-backoff retry budget: re-send to a surviving
+			// replica after base<<(attempt-1), as long as the budget and
+			// the request's deadline both have room.
+			if attempt <= f.retryBudget {
+				backoff := f.retryBase << (attempt - 1)
+				if alt, ok := f.altRoute(req.Session, r.BackendID); ok &&
+					req.Deadline-f.clock.Now() > backoff+f.netDelay+f.extraDelay {
+					f.retries++
+					next := attempt + 1
+					f.clock.After(backoff, func() { f.send(req, alt, next) })
+					return
+				}
+			}
+		} else if f.retry && attempt == 1 {
 			if alt, ok := f.altRoute(req.Session, r.BackendID); ok &&
 				req.Deadline-f.clock.Now() > f.netDelay+f.extraDelay {
 				f.retries++
-				f.send(req, alt, false)
+				f.send(req, alt, 2)
 				return
 			}
 		}
@@ -294,6 +350,7 @@ func (f *Frontend) setTableLocked(rt RoutingTable, gen uint64) error {
 	}
 	f.state.Store(&tableState{table: rt, sessions: sessions, gen: gen})
 	f.tableVersion.Add(1)
+	f.renewLeaseLocked()
 	return nil
 }
 
@@ -352,6 +409,7 @@ func (f *Frontend) ApplyDelta(d TableDelta) error {
 	}
 	f.state.Store(&tableState{table: table, sessions: sessions, gen: d.Gen})
 	f.tableVersion.Add(1)
+	f.renewLeaseLocked()
 	return nil
 }
 
@@ -371,30 +429,56 @@ func (f *Frontend) resolve(routes []Route) []resolvedRoute {
 }
 
 // Dispatch routes a request to a backend. Requests for sessions without a
-// route are reported unroutable (the admission-control drop path).
+// route are reported unroutable; token-bucket admission (when configured)
+// sheds before routing with DropAdmission; an expired route lease either
+// serves stale or stops routing.
 func (f *Frontend) Dispatch(req workload.Request) {
+	if f.admission != nil && !f.admit(req.Session) {
+		f.admissionSheds++
+		f.drop(req, backend.DropAdmission)
+		return
+	}
 	st, ok := f.state.Load().sessions[req.Session]
 	if !ok || len(st.routes) == 0 {
 		f.drop(req, backend.DropUnroutable)
 		return
 	}
+	if f.leaseTTL > 0 && f.clock.Now()-time.Duration(f.lastPush.Load()) > f.leaseTTL {
+		if !f.serveStale {
+			// Lease expired and stale serving is off: the table can no
+			// longer be trusted, so the request is unroutable.
+			f.drop(req, backend.DropUnroutable)
+			return
+		}
+		f.staleServed++
+	}
+	var r resolvedRoute
+	if f.breakers != nil {
+		var ok bool
+		if r, ok = f.pickAvoiding(st); !ok {
+			// Every replica's breaker is open: fail fast instead of
+			// burning a network hop on a known-bad target.
+			f.drop(req, backend.DropFailure)
+			return
+		}
+	} else {
+		r = st.pick()
+	}
 	st.count.Add(1)
 	f.dispatches++
-	r := st.pick()
 	if f.tracer != nil {
 		f.tracer.Record(trace.Event{
 			At: f.clock.Now(), Kind: trace.Route, ReqID: req.ID,
 			Session: req.Session, Backend: r.BackendID, Unit: r.UnitID,
 		})
 	}
-	f.send(req, r, true)
+	f.send(req, r, 1)
 }
 
 // send delivers req to route r after the network delay, classifying any
-// enqueue failure. When the target is dead or lost the unit mid-flight and
-// retries are enabled, a first-try request is re-sent once to a surviving
-// replica — but only if its deadline still has room for another hop.
-func (f *Frontend) send(req workload.Request, r resolvedRoute, firstTry bool) {
+// enqueue failure. attempt is 1 on the first try; deliver consults the
+// retry policy (backoff budget, or legacy retry-once) on failure.
+func (f *Frontend) send(req workload.Request, r resolvedRoute, attempt int) {
 	var p *pendingSend
 	if n := len(f.sendPool); n > 0 {
 		p = f.sendPool[n-1]
@@ -403,21 +487,32 @@ func (f *Frontend) send(req workload.Request, r resolvedRoute, firstTry bool) {
 		p = &pendingSend{f: f}
 		p.fire = p.deliver
 	}
-	p.req, p.r, p.firstTry = req, r, firstTry
+	p.req, p.r, p.attempt = req, r, attempt
 	f.clock.After(f.netDelay+f.extraDelay, p.fire)
 }
 
-// altRoute returns the session's first route to a live backend other than
-// the one that just failed.
+// altRoute returns the session's first route to a reachable backend other
+// than the one that just failed: alive, not behind a cut data link, and
+// (when breakers are on) not breaker-open.
 func (f *Frontend) altRoute(session, exclude string) (resolvedRoute, bool) {
 	if st, ok := f.state.Load().sessions[session]; ok {
 		for _, r := range st.routes {
 			if r.BackendID == exclude {
 				continue
 			}
-			if r.be != nil && r.be.Alive() {
-				return r, true
+			if r.be == nil || !r.be.Alive() {
+				continue
 			}
+			if f.linkDown != nil && f.linkDown[r.BackendID] {
+				continue
+			}
+			if f.breakers != nil {
+				if !f.routeAllowed(r.BackendID) {
+					continue
+				}
+				f.markProbe(r.BackendID)
+			}
+			return r, true
 		}
 	}
 	return resolvedRoute{}, false

@@ -1,0 +1,240 @@
+// Degraded-mode control plane: scheduler outages with re-registration
+// recovery, control-link partitions with incarnation-checked split-brain
+// reconciliation, and rate-limited post-outage route repair. Everything
+// here is a no-op for deployments that never inject these faults, so
+// fault-free runs keep byte-identical outputs.
+package globalsched
+
+import (
+	"sort"
+	"time"
+
+	"nexus/internal/frontend"
+)
+
+// recoveryFlushDelay spaces the staged flushes of a rate-limited
+// post-outage repair wave: each flush pushes at most
+// RecoveryMaxRouteChanges more session changes until the routing state
+// converges on the recovery plan.
+const recoveryFlushDelay = time.Second
+
+// Down reports whether the scheduler is currently in an outage.
+func (s *Scheduler) Down() bool { return s.down }
+
+// Recoveries returns how many outage recoveries have run.
+func (s *Scheduler) Recoveries() int { return s.recoveries }
+
+// StaleEchoes returns how many re-registrations were rejected because the
+// backend's incarnation no longer matched the adopted instance (it crashed
+// and restarted behind the scheduler's back).
+func (s *Scheduler) StaleEchoes() int { return s.staleEchoes }
+
+// Reregistered returns how many backends re-registered successfully across
+// outage recoveries and partition heals.
+func (s *Scheduler) Reregistered() int { return s.reregistered }
+
+// CappedPushes returns how many route publishes were rate-limited by
+// RecoveryMaxRouteChanges.
+func (s *Scheduler) CappedPushes() int { return s.cappedPushes }
+
+// SetOutage takes the scheduler down (true) or brings it back up (false).
+// While down, epoch planning, route publishing, lease monitoring, and
+// heartbeat intake all stop — the data plane keeps serving on its last
+// routing table. Coming back up runs recovery: state is reconstructed from
+// backend re-registration, stale echoes are rejected, and the first
+// post-outage plan publishes rate-limited. Reports whether the state
+// changed.
+func (s *Scheduler) SetOutage(down bool) bool {
+	if s.down == down {
+		return false
+	}
+	s.down = down
+	if !down {
+		s.recover()
+	}
+	return true
+}
+
+// recover is the restart path: the scheduler's liveness view is rebuilt
+// from what each assigned backend reports at re-registration — its ID and
+// incarnation. A backend that died during the outage is released; one that
+// crashed AND restarted is alive but empty, so its matching-ID echo is
+// stale (wrong incarnation) and rejected back to the free pool; a
+// surviving instance is re-adopted with a fresh lease grace period. Then
+// the first post-outage epoch runs immediately, its publish rate-limited.
+func (s *Scheduler) recover() {
+	s.recoveries++
+	now := s.clock.Now()
+	dropped := 0
+	nodeIDs := make([]string, 0, len(s.nodeBackend))
+	for nodeID := range s.nodeBackend {
+		nodeIDs = append(nodeIDs, nodeID)
+	}
+	sort.Strings(nodeIDs)
+	for _, nodeID := range nodeIDs {
+		for _, beID := range append([]string(nil), s.nodeBackend[nodeID]...) {
+			be := s.pool.Get(beID)
+			inc, known := s.lastInc[beID]
+			switch {
+			case be == nil || !be.Alive():
+				// Died during the outage: nothing re-registers.
+				s.dropReplica(nodeID, beID)
+				dropped++
+			case known && be.Incarnation() != inc:
+				// Alive, but not the instance this scheduler configured:
+				// it crashed and restarted mid-outage and now serves
+				// nothing. Reject the stale echo; the node rejoins the
+				// pool as fresh capacity and the recovery plan replaces it.
+				s.staleEchoes++
+				s.dropReplica(nodeID, beID)
+				dropped++
+			default:
+				s.reregistered++
+				if s.cfg.Heartbeat > 0 {
+					// Fresh grace period: the frozen pre-outage beat
+					// timestamp must not count as missed beats.
+					s.lastBeat[beID] = now
+				}
+			}
+		}
+	}
+	if dropped > 0 {
+		// dropReplica surgically repaired the frontends' tables behind the
+		// delta stream's back, and the recovery plan may re-acquire the very
+		// same backend IDs — an empty diff against lastTable would then skip
+		// the push and leave the frontends routeless. Forget the baseline so
+		// the first post-outage publish is a full resync.
+		s.lastTable = nil
+	}
+	s.recoveryPending = true
+	_ = s.RunEpoch()
+}
+
+// dropReplica removes one backend from its node assignment, releases it,
+// and repairs every frontend's routes around it.
+func (s *Scheduler) dropReplica(nodeID, beID string) {
+	kept := s.nodeBackend[nodeID][:0:0]
+	for _, id := range s.nodeBackend[nodeID] {
+		if id != beID {
+			kept = append(kept, id)
+		}
+	}
+	s.nodeBackend[nodeID] = kept
+	delete(s.lastBeat, beID)
+	delete(s.lastInc, beID)
+	s.pool.Release(beID)
+	for _, fe := range s.frontends {
+		fe.RemoveBackend(beID)
+	}
+}
+
+// CutControl severs (cut) or restores the scheduler<->backend control link
+// for one backend: its beats stop arriving while it keeps serving, so the
+// lease monitor eventually declares it dead — a false positive the heal
+// path reconciles via Reregister. Reports whether the state changed.
+func (s *Scheduler) CutControl(beID string, cut bool) bool {
+	if s.cutCtrl[beID] == cut {
+		return false
+	}
+	if cut {
+		s.cutCtrl[beID] = true
+	} else {
+		delete(s.cutCtrl, beID)
+	}
+	return true
+}
+
+// Reregister is the partition-heal handshake: a backend whose control link
+// just healed reports (id, incarnation). If the scheduler still has it
+// assigned and the incarnation matches the adopted instance, it is
+// re-adopted (lease refreshed) and true is returned. Otherwise — it was
+// declared dead and replaced, or it restarted behind the partition — the
+// echo is stale: the scheduler rejects it and the caller returns the node
+// to the pool as fresh capacity.
+func (s *Scheduler) Reregister(beID string, inc uint64) bool {
+	assigned := false
+	for _, beIDs := range s.nodeBackend {
+		for _, id := range beIDs {
+			if id == beID {
+				assigned = true
+			}
+		}
+	}
+	want, known := s.lastInc[beID]
+	if !assigned || !known || want != inc {
+		s.staleEchoes++
+		return false
+	}
+	s.reregistered++
+	if s.cfg.Heartbeat > 0 {
+		s.lastBeat[beID] = s.clock.Now()
+	}
+	return true
+}
+
+// renewLeases refreshes every frontend's routing-table lease without
+// pushing anything: called on empty-delta epochs, so a healthy scheduler
+// with a stable plan never lets leases lapse. No-op on frontends without
+// leases enabled.
+func (s *Scheduler) renewLeases() {
+	for _, fe := range s.frontends {
+		fe.RenewRouteLease()
+	}
+}
+
+// capRecovery bounds a post-outage publish to at most limit per-session
+// changes: removes first (they never point traffic at a wrong replica),
+// then sets, both in sorted session order for determinism. The returned
+// table is the partial state the frontends will actually hold, so the
+// next diff picks up exactly where this push stopped; the remainder is
+// flushed on a timer until the routing state converges on the full
+// recovery target.
+func (s *Scheduler) capRecovery(target frontend.RoutingTable, set map[string][]frontend.Route,
+	remove []string, limit int) (frontend.RoutingTable, map[string][]frontend.Route, []string) {
+	s.cappedPushes++
+	s.recoveryTarget = target
+
+	partial := make(frontend.RoutingTable, len(s.lastTable))
+	for sid, routes := range s.lastTable {
+		partial[sid] = routes
+	}
+	budget := limit
+	cappedRemove := remove
+	if len(cappedRemove) > budget {
+		cappedRemove = cappedRemove[:budget]
+	}
+	for _, sid := range cappedRemove {
+		delete(partial, sid)
+	}
+	budget -= len(cappedRemove)
+	setIDs := make([]string, 0, len(set))
+	for sid := range set {
+		setIDs = append(setIDs, sid)
+	}
+	sort.Strings(setIDs)
+	if len(setIDs) > budget {
+		setIDs = setIDs[:budget]
+	}
+	cappedSet := make(map[string][]frontend.Route, len(setIDs))
+	for _, sid := range setIDs {
+		cappedSet[sid] = set[sid]
+		partial[sid] = set[sid]
+	}
+	if !s.recoveryFlushArmed {
+		s.recoveryFlushArmed = true
+		s.clock.After(recoveryFlushDelay, s.flushRecovery)
+	}
+	return partial, cappedSet, cappedRemove
+}
+
+// flushRecovery publishes the next staged slice of a rate-limited repair
+// wave. Each slice is itself capped, so a large wave converges over
+// several flushes; an epoch that lands in between simply replaces the
+// recovery target with its newer table.
+func (s *Scheduler) flushRecovery() {
+	s.recoveryFlushArmed = false
+	if s.down || !s.recoveryPending || s.recoveryTarget == nil {
+		return
+	}
+	_ = s.publishDelta(s.recoveryTarget)
+}

@@ -129,6 +129,12 @@ type Config struct {
 	// generation number and any mismatch (e.g. a local route repair after
 	// a backend death) triggers a full resync push.
 	DeltaRouting bool
+	// RecoveryMaxRouteChanges rate-limits the first post-outage publish:
+	// at most this many per-session route changes go out per push, the
+	// remainder following in staged flushes, so the repair wave cannot
+	// thrash every route at once. Requires DeltaRouting (the cap rides on
+	// the delta diff); 0 disables the limit.
+	RecoveryMaxRouteChanges int
 }
 
 // DefaultPlanningSlack covers round-trip dispatch latency plus margin.
@@ -210,6 +216,26 @@ type Scheduler struct {
 	// lastMemberUnit remembers the latest epoch's member session -> unit
 	// mapping so emergency repairs can republish routes between epochs.
 	lastMemberUnit map[string]string
+
+	// Degraded-mode state (see degraded.go). down freezes planning, route
+	// pushes, and lease monitoring (a scheduler outage); cutCtrl drops
+	// beats from control-partitioned backends; lastInc records each
+	// adopted backend's incarnation so outage recovery and partition heals
+	// can reject stale echoes of instances that crashed in between.
+	down    bool
+	cutCtrl map[string]bool
+	lastInc map[string]uint64
+	// recoveryPending arms the rate-limited publish for the first
+	// post-outage plan; recoveryTarget is the full table the staged
+	// flushes converge to, and recoveryFlushArmed dedups flush timers.
+	recoveryPending    bool
+	recoveryTarget     frontend.RoutingTable
+	recoveryFlushArmed bool
+	// Degraded counters for telemetry.
+	recoveries   int
+	staleEchoes  int
+	reregistered int
+	cappedPushes int
 }
 
 // splitHysteresis is the relative improvement a new latency split must
@@ -236,6 +262,8 @@ func New(clock *simclock.Clock, pool Pool, frontends []*frontend.Frontend,
 		gammaEst:    make(map[string]float64),
 		prevSplit:   make(map[string]*queryopt.Split),
 		lastBeat:    make(map[string]time.Duration),
+		cutCtrl:     make(map[string]bool),
+		lastInc:     make(map[string]uint64),
 	}
 }
 
@@ -342,20 +370,31 @@ func (s *Scheduler) leaseMisses() int {
 
 // adopt starts liveness monitoring on a newly acquired backend: the beat
 // timestamp is seeded with the acquisition time (a grace period covering
-// model loads) and the backend begins heartbeating into the scheduler.
+// model loads) and the backend begins heartbeating into the scheduler. The
+// backend's incarnation is recorded regardless of heartbeating, so outage
+// recovery can tell a surviving instance from a stale echo that crashed
+// and restarted in between.
 func (s *Scheduler) adopt(beID string) {
-	if s.cfg.Heartbeat <= 0 {
-		return
-	}
 	be := s.pool.Get(beID)
 	if be == nil {
+		return
+	}
+	s.lastInc[beID] = be.Incarnation()
+	if s.cfg.Heartbeat <= 0 {
 		return
 	}
 	s.lastBeat[beID] = s.clock.Now()
 	be.StartHeartbeat(s.cfg.Heartbeat, s.beat)
 }
 
+// beat receives one backend liveness beat. Beats are lost while the
+// scheduler is down (an outage drops them on the floor) and while the
+// backend's control link is cut (an asymmetric partition: the node keeps
+// serving, but the scheduler can't hear it).
 func (s *Scheduler) beat(beID string) {
+	if s.down || s.cutCtrl[beID] {
+		return
+	}
 	s.lastBeat[beID] = s.clock.Now()
 }
 
@@ -363,6 +402,9 @@ func (s *Scheduler) beat(beID string) {
 // beat is older than the lease (LeaseMisses beats) is declared dead and
 // repaired around immediately, without waiting for the epoch boundary.
 func (s *Scheduler) checkLeases() {
+	if s.down {
+		return
+	}
 	lease := time.Duration(s.leaseMisses()) * s.cfg.Heartbeat
 	now := s.clock.Now()
 	nodeIDs := make([]string, 0, len(s.nodeBackend))
@@ -390,6 +432,7 @@ func (s *Scheduler) checkLeases() {
 func (s *Scheduler) handleFailure(nodeID, beID string) {
 	s.failures++
 	delete(s.lastBeat, beID)
+	delete(s.lastInc, beID)
 	beIDs := s.nodeBackend[nodeID]
 	kept := beIDs[:0:0]
 	for _, id := range beIDs {
@@ -443,8 +486,12 @@ func (s *Scheduler) replaceReplica(nodeID string, g *scheduler.GPUPlan) {
 	s.adopt(newID)
 }
 
-// RunEpoch performs one control-plane cycle.
+// RunEpoch performs one control-plane cycle. During a scheduler outage it
+// is a no-op: the data plane keeps serving on its last routing table.
 func (s *Scheduler) RunEpoch() error {
+	if s.down {
+		return nil
+	}
 	var wallStart time.Time
 	if s.cfg.PlanWallClock {
 		wallStart = time.Now()
@@ -1144,12 +1191,23 @@ func (s *Scheduler) publishRoutes(plan *scheduler.Plan) error {
 // repair after a backend death bumps their generation) reject the delta
 // and receive a full resync at the new generation. An empty delta means
 // every frontend already holds exactly this table — the common steady-state
-// epoch — and nothing is pushed at all.
+// epoch — and nothing is pushed at all; route leases are still renewed, so
+// an idle but healthy scheduler keeps the data plane's leases alive.
 func (s *Scheduler) publishDelta(table frontend.RoutingTable) error {
 	set, remove := tableDiff(s.lastTable, table)
 	if s.lastTable != nil && len(set) == 0 && len(remove) == 0 {
 		s.lastTable = table
+		s.recoveryPending = false
+		s.renewLeases()
 		return nil
+	}
+	if limit := s.cfg.RecoveryMaxRouteChanges; s.recoveryPending && limit > 0 && len(set)+len(remove) > limit {
+		// First post-outage publish: stage the repair wave instead of
+		// thrashing every route at once. A capped subset goes out now;
+		// the rest follows in flushes until the diff converges.
+		table, set, remove = s.capRecovery(table, set, remove, limit)
+	} else {
+		s.recoveryPending = false
 	}
 	gen := s.pubGen + 1
 	delta := frontend.TableDelta{FromGen: s.pubGen, Gen: gen, Set: set, Remove: remove}
@@ -1233,6 +1291,7 @@ func (s *Scheduler) sweepDead() {
 				continue
 			}
 			delete(s.lastBeat, beID)
+			delete(s.lastInc, beID)
 			s.pool.Release(beID)
 			for _, fe := range s.frontends {
 				fe.RemoveBackend(beID)
@@ -1266,6 +1325,7 @@ func (s *Scheduler) apply(plan *scheduler.Plan, memberUnit map[string]string) er
 				if be := s.pool.Get(beID); be != nil {
 					_ = be.Configure(nil)
 				}
+				delete(s.lastInc, beID)
 				s.pool.Release(beID)
 			}
 			prev = prev[:want]
@@ -1308,6 +1368,7 @@ func (s *Scheduler) apply(plan *scheduler.Plan, memberUnit map[string]string) er
 				_ = be.Configure(nil)
 			}
 			delete(s.lastBeat, beID)
+			delete(s.lastInc, beID)
 			s.pool.Release(beID)
 		}
 	}

@@ -53,7 +53,13 @@ func (p *fakePool) Acquire() (string, *backend.Backend, error) {
 func (p *fakePool) Release(id string) {
 	if be, ok := p.inUse[id]; ok {
 		delete(p.inUse, id)
-		p.free = append(p.free, be)
+		if be.Alive() {
+			p.free = append(p.free, be)
+		} else {
+			// Dead backends are parked outside the grantable pool, like
+			// the real cluster pool's down set.
+			p.capacity--
+		}
 	}
 }
 

@@ -174,6 +174,7 @@ type SessionStats struct {
 	Reconfig   uint64 // lost to a control-plane reconfiguration race
 	Overload   uint64 // rejected by a bounded backend queue
 	Failed     uint64 // lost to a backend failure (queued or in flight)
+	Admission  uint64 // shed by frontend token-bucket admission control
 	Latency    Histogram
 }
 
@@ -183,7 +184,7 @@ func (s *SessionStats) Good() uint64 { return s.Completed - s.Missed }
 // Lost returns every request lost before producing a response, across all
 // reasons.
 func (s *SessionStats) Lost() uint64 {
-	return s.Dropped + s.Unroutable + s.Reconfig + s.Overload + s.Failed
+	return s.Dropped + s.Unroutable + s.Reconfig + s.Overload + s.Failed + s.Admission
 }
 
 // Bad returns the number of requests that count against SLO attainment:
@@ -212,6 +213,7 @@ func (s *SessionStats) Merge(other *SessionStats) {
 	s.Reconfig += other.Reconfig
 	s.Overload += other.Overload
 	s.Failed += other.Failed
+	s.Admission += other.Admission
 	s.Latency.Merge(&other.Latency)
 }
 

@@ -57,9 +57,29 @@ type DropWindowRecord struct {
 	Dropped int     `json:"dropped"`
 }
 
+// ChaosRecord is one degraded-mode survival event on the chaos timeline:
+// an injected fault edge (outage, partition, surge), a frontend circuit-
+// breaker state transition, a routing-table lease expiry or refresh, or an
+// admission shed. Together with the injector's script log these reconcile
+// a chaos experiment end to end: what was injected, what the survival
+// layer did about it, and when.
+type ChaosRecord struct {
+	AtMS     float64 `json:"at_ms"`
+	Kind     string  `json:"kind"` // "outage", "partition", "surge", "breaker", "lease", "admission"
+	Frontend string  `json:"frontend,omitempty"`
+	Backend  string  `json:"backend,omitempty"`
+	Session  string  `json:"session,omitempty"`
+	From     string  `json:"from,omitempty"`
+	To       string  `json:"to,omitempty"`
+}
+
 // maxDropWindows bounds the early-drop record list; placements and splits
 // are bounded by epochs × sessions, but drop windows are data-plane events.
 const maxDropWindows = 1 << 16
+
+// maxChaos bounds the chaos timeline; admission sheds especially are
+// data-plane-rate events during an overload.
+const maxChaos = 1 << 16
 
 // Audit is the control-plane audit log. Like Tracer, a nil *Audit is a
 // valid no-op, so the scheduler records unconditionally.
@@ -68,6 +88,8 @@ type Audit struct {
 	splits      []SplitRecord
 	dropWindows []DropWindowRecord
 	dropsLost   int // drop-window records discarded once full
+	chaos       []ChaosRecord
+	chaosLost   int // chaos records discarded once full
 }
 
 // NewAudit creates an empty audit log.
@@ -102,6 +124,27 @@ func (a *Audit) RecordDropWindow(r DropWindowRecord) {
 	a.dropWindows = append(a.dropWindows, r)
 }
 
+// RecordChaos appends one degraded-mode survival event. The list is
+// bounded; overflow is counted, not stored.
+func (a *Audit) RecordChaos(r ChaosRecord) {
+	if a == nil {
+		return
+	}
+	if len(a.chaos) >= maxChaos {
+		a.chaosLost++
+		return
+	}
+	a.chaos = append(a.chaos, r)
+}
+
+// Chaos returns the recorded degraded-mode timeline in time order.
+func (a *Audit) Chaos() []ChaosRecord {
+	if a == nil {
+		return nil
+	}
+	return a.chaos
+}
+
 // Placements returns the recorded placements in epoch order.
 func (a *Audit) Placements() []PlacementRecord {
 	if a == nil {
@@ -132,6 +175,8 @@ type auditJSON struct {
 	Splits      []SplitRecord      `json:"splits"`
 	DropWindows []DropWindowRecord `json:"drop_windows"`
 	DropsLost   int                `json:"drop_windows_lost,omitempty"`
+	Chaos       []ChaosRecord      `json:"chaos,omitempty"`
+	ChaosLost   int                `json:"chaos_lost,omitempty"`
 }
 
 // WriteJSON writes the audit log as one JSON object.
@@ -141,6 +186,7 @@ func (a *Audit) WriteJSON(w io.Writer) error {
 		doc = auditJSON{
 			Placements: a.placements, Splits: a.splits,
 			DropWindows: a.dropWindows, DropsLost: a.dropsLost,
+			Chaos: a.chaos, ChaosLost: a.chaosLost,
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -157,6 +203,7 @@ func ReadAudit(r io.Reader) (*Audit, error) {
 	return &Audit{
 		placements: doc.Placements, splits: doc.Splits,
 		dropWindows: doc.DropWindows, dropsLost: doc.DropsLost,
+		chaos: doc.Chaos, chaosLost: doc.ChaosLost,
 	}, nil
 }
 
@@ -252,6 +299,34 @@ func (a *Audit) WriteText(w io.Writer) error {
 		}
 		if a.dropsLost > 0 {
 			if _, err := fmt.Fprintf(w, "  (%d drop-window records discarded: log full)\n", a.dropsLost); err != nil {
+				return err
+			}
+		}
+	}
+	if len(a.chaos) > 0 {
+		if _, err := fmt.Fprintln(w, "chaos timeline"); err != nil {
+			return err
+		}
+		for _, c := range a.chaos {
+			line := fmt.Sprintf("  %9.1fms %-10s", c.AtMS, c.Kind)
+			if c.Frontend != "" {
+				line += " frontend=" + c.Frontend
+			}
+			if c.Backend != "" {
+				line += " backend=" + c.Backend
+			}
+			if c.Session != "" {
+				line += " session=" + c.Session
+			}
+			if c.From != "" || c.To != "" {
+				line += fmt.Sprintf(" %s->%s", c.From, c.To)
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+		if a.chaosLost > 0 {
+			if _, err := fmt.Fprintf(w, "  (%d chaos records discarded: log full)\n", a.chaosLost); err != nil {
 				return err
 			}
 		}

@@ -82,6 +82,11 @@ type Generator struct {
 	until  time.Duration
 	nextID uint64
 	sent   uint64
+	// mult scales the offered rate (0 or 1 = nominal): inter-arrival gaps
+	// divide by it from the next arrival on. Fault injection uses it to
+	// script traffic surges; the rng draw sequence is untouched, so a
+	// surged run stays deterministic.
+	mult float64
 	// emitFn is g.emit bound once, so scheduling an arrival does not
 	// allocate a closure per request.
 	emitFn func()
@@ -107,8 +112,21 @@ func Start(clock *simclock.Clock, rng *rand.Rand, session string, slo time.Durat
 // Sent returns how many requests have been emitted.
 func (g *Generator) Sent() uint64 { return g.sent }
 
+// SetRateMultiplier scales the generator's offered rate from the next
+// arrival on: factor 2 halves inter-arrival gaps, factor 1 (or 0) restores
+// the nominal process. Negative factors are clamped to nominal.
+func (g *Generator) SetRateMultiplier(factor float64) {
+	if factor <= 0 {
+		factor = 1
+	}
+	g.mult = factor
+}
+
 func (g *Generator) schedule() {
 	gap := g.Proc.Interarrival(g.clock.Now(), g.rng)
+	if g.mult > 0 && g.mult != 1 {
+		gap = time.Duration(float64(gap) / g.mult)
+	}
 	if gap < time.Microsecond {
 		gap = time.Microsecond // forbid zero-gap infinite loops
 	}
