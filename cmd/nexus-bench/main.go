@@ -119,7 +119,7 @@ func run() int {
 	// cells; results come back in request order regardless of completion
 	// order.
 	start := time.Now()
-	results := runner.Map(len(ids), func(i int) jsonResult {
+	results := runner.MapNamed("experiments", len(ids), func(i int) jsonResult {
 		e, err := experiments.Get(ids[i])
 		if err != nil {
 			return jsonResult{ID: ids[i], Error: err.Error()}

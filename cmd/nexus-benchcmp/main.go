@@ -122,7 +122,15 @@ func delta(base, cur float64) float64 {
 // current); it always exceeds any tolerance.
 var inf = 1e308
 
-func compare(basePath, curPath string, tolerance float64, allowNew bool, w io.Writer) (failed bool, err error) {
+// minStableIters is the iteration count below which a baseline entry is
+// considered noise-prone: with one or two iterations, run-to-run variance
+// alone can trip (or mask) the tolerance gate.
+const minStableIters = 3
+
+// compare gates cur against base, writing the verdict table to w and
+// noise-caveat warnings (baseline entries measured with fewer than
+// minStableIters iterations) to warnw.
+func compare(basePath, curPath string, tolerance float64, allowNew bool, w, warnw io.Writer) (failed bool, err error) {
 	base, err := load(basePath)
 	if err != nil {
 		return false, err
@@ -146,6 +154,10 @@ func compare(basePath, curPath string, tolerance float64, allowNew bool, w io.Wr
 			fmt.Fprintf(w, "%-40s %15s %15s %15s\n", name, "-", "-", "MISSING")
 			failed = true
 			continue
+		}
+		if b.Iters > 0 && b.Iters < minStableIters {
+			fmt.Fprintf(warnw, "nexus-benchcmp: warning: baseline %s was measured with only %d iteration(s); the %.0f%% gate is noise-prone for it — prefer a longer -benchtime when regenerating the baseline\n",
+				name, b.Iters, tolerance*100)
 		}
 		if b.NsPerOp <= 0 {
 			// A zero/negative baseline ns/op means the baseline file is
@@ -227,7 +239,7 @@ func main() {
 			os.Exit(1)
 		}
 	case *baseline != "" && *current != "":
-		failed, err := compare(*baseline, *current, *tolerance, *allowNew, os.Stdout)
+		failed, err := compare(*baseline, *current, *tolerance, *allowNew, os.Stdout, os.Stderr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -239,6 +251,10 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "usage: nexus-benchcmp -parse [-o file.json] < bench.txt")
 		fmt.Fprintln(os.Stderr, "       nexus-benchcmp -baseline a.json -current b.json [-tolerance 0.10]")
+		fmt.Fprintln(os.Stderr, "caveat: baseline entries measured with iters < 3 (e.g. single-iteration")
+		fmt.Fprintln(os.Stderr, "  long-running benchmarks) make the tolerance gate noise-prone; compare")
+		fmt.Fprintln(os.Stderr, "  warns on stderr for each such entry. Regenerate baselines with a longer")
+		fmt.Fprintln(os.Stderr, "  -benchtime where practical.")
 		os.Exit(2)
 	}
 }

@@ -24,20 +24,21 @@ func writeReport(t *testing.T, dir, name string, entries []Entry) string {
 
 func runCompare(t *testing.T, base, cur []Entry, tolerance float64) (bool, string) {
 	t.Helper()
-	return runCompareOpts(t, base, cur, tolerance, false)
+	failed, out, _ := runCompareOpts(t, base, cur, tolerance, false)
+	return failed, out
 }
 
-func runCompareOpts(t *testing.T, base, cur []Entry, tolerance float64, allowNew bool) (bool, string) {
+func runCompareOpts(t *testing.T, base, cur []Entry, tolerance float64, allowNew bool) (bool, string, string) {
 	t.Helper()
 	dir := t.TempDir()
 	basePath := writeReport(t, dir, "base.json", base)
 	curPath := writeReport(t, dir, "cur.json", cur)
-	var buf bytes.Buffer
-	failed, err := compare(basePath, curPath, tolerance, allowNew, &buf)
+	var buf, warn bytes.Buffer
+	failed, err := compare(basePath, curPath, tolerance, allowNew, &buf, &warn)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return failed, buf.String()
+	return failed, buf.String(), warn.String()
 }
 
 func TestCompareOK(t *testing.T) {
@@ -86,9 +87,33 @@ func TestCompareAllowNewPasses(t *testing.T) {
 		{Name: "BenchmarkA", NsPerOp: 1000},
 		{Name: "BenchmarkNew", NsPerOp: 1000},
 	}
-	failed, out := runCompareOpts(t, base, cur, 0.10, true)
+	failed, out, _ := runCompareOpts(t, base, cur, 0.10, true)
 	if failed || !strings.Contains(out, "NEW (allowed)") {
 		t.Fatalf("new benchmark failed under -allow-new:\n%s", out)
+	}
+}
+
+// A baseline entry with fewer than 3 iterations warns on stderr — the 10%
+// gate is noise-prone against single-iteration measurements — but does not
+// fail the gate by itself.
+func TestCompareLowItersWarns(t *testing.T) {
+	base := []Entry{
+		{Name: "BenchmarkShaky", Iters: 1, NsPerOp: 1000},
+		{Name: "BenchmarkSolid", Iters: 100, NsPerOp: 1000},
+	}
+	cur := []Entry{
+		{Name: "BenchmarkShaky", Iters: 1, NsPerOp: 1000},
+		{Name: "BenchmarkSolid", Iters: 100, NsPerOp: 1000},
+	}
+	failed, out, warn := runCompareOpts(t, base, cur, 0.10, false)
+	if failed {
+		t.Fatalf("low-iters baseline failed the gate:\n%s", out)
+	}
+	if !strings.Contains(warn, "BenchmarkShaky") || !strings.Contains(warn, "only 1 iteration") {
+		t.Fatalf("no low-iters warning for BenchmarkShaky:\n%s", warn)
+	}
+	if strings.Contains(warn, "BenchmarkSolid") {
+		t.Fatalf("well-measured benchmark warned:\n%s", warn)
 	}
 }
 
@@ -97,7 +122,7 @@ func TestCompareAllowNewPasses(t *testing.T) {
 func TestCompareAllowNewStillFailsMissing(t *testing.T) {
 	base := []Entry{{Name: "BenchmarkGone", NsPerOp: 1000}}
 	cur := []Entry{{Name: "BenchmarkNew", NsPerOp: 1000}}
-	failed, out := runCompareOpts(t, base, cur, 0.10, true)
+	failed, out, _ := runCompareOpts(t, base, cur, 0.10, true)
 	if !failed || !strings.Contains(out, "MISSING") {
 		t.Fatalf("missing benchmark passed under -allow-new:\n%s", out)
 	}

@@ -140,8 +140,26 @@ func New(id string, clock *simclock.Clock, dev *gpusim.Device, cfg Config, onDon
 		onDone: onDone,
 	}
 	b.rrStepFn = b.stepRR
+	// Batch-run arena: one contiguous block with callbacks bound up front,
+	// so the execution pipeline reaches steady state without growing the
+	// pool one heap object at a time. runArenaSize covers the in-flight
+	// batches of any discipline (RR has one; Parallel has one per unit up
+	// to the CPU worker count).
+	arena := make([]batchRun, runArenaSize)
+	b.runPool = make([]*batchRun, 0, runArenaSize)
+	for i := range arena {
+		r := &arena[i]
+		r.b = b
+		r.preFn = r.submitGPU
+		r.gpuFn = r.gpuDone
+		r.postFn = r.afterPost
+		b.runPool = append(b.runPool, r)
+	}
 	return b
 }
+
+// runArenaSize is how many batchRun objects New pre-allocates contiguously.
+const runArenaSize = 8
 
 // Device exposes the underlying simulated GPU (for utilization metrics).
 func (b *Backend) Device() *gpusim.Device { return b.dev }
@@ -234,6 +252,13 @@ func (b *Backend) Configure(units []Unit) error {
 			us.running = false
 			b.stepUnit(us)
 		}
+		// Arena sizing from the profiler's dense memo table: no executed
+		// batch exceeds MemoBatches, so pre-sizing the ring to two batches'
+		// worth and priming two max-size batch slices puts a fresh unit at
+		// alloc-free steady state from its first pick.
+		memo := nu.Profile.MemoBatches()
+		us.queue.Reserve(2 * memo)
+		us.queue.PrimeBatches(2, memo)
 		bytes := nu.Profile.MemBase + int64(nu.TargetBatch)*nu.Profile.MemPerItem
 		if err := b.dev.Load(nu.ID, bytes, func() {
 			us.ready = true

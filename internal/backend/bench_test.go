@@ -11,33 +11,73 @@ import (
 	"nexus/internal/workload"
 )
 
-// BenchmarkDispatchHotPath measures the full node data plane — enqueue,
-// early-drop admission, ring-buffer batch assembly, simulated execution,
-// completion — for three seconds of simulated overload per iteration. This
-// is the loop the ring queue, batch recycling, and memoized latency tables
-// optimize.
+// BenchmarkDispatchHotPath measures the node data plane in steady state —
+// enqueue, early-drop admission, ring-buffer batch assembly, simulated
+// execution, completion — replaying one second of Uniform rate-2000
+// overload per iteration. Setup (clock, device, model load) and the
+// arrival schedule are hoisted out of the timed region and the pools are
+// warmed first, so the numbers isolate the per-request path the ring
+// queue, batch/run arenas, and memoized latency tables optimize; at
+// steady state it must not allocate at all.
 func BenchmarkDispatchHotPath(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		clock := simclock.New()
-		dev := gpusim.New(clock, "gpu0", profiler.GTX1080Ti, gpusim.Exclusive)
-		served := 0
-		be := New("b0", clock, dev, Config{Overlap: true, Discipline: RoundRobin},
-			func(req Request, outcome Outcome, at time.Duration) { served++ })
-		if err := be.Configure([]Unit{{ID: "u", Profile: testUnitProfile(), TargetBatch: 16}}); err != nil {
+	clock := simclock.New()
+	dev := gpusim.New(clock, "gpu0", profiler.GTX1080Ti, gpusim.Exclusive)
+	served := 0
+	be := New("b0", clock, dev, Config{Overlap: true, Discipline: RoundRobin},
+		func(req Request, outcome Outcome, at time.Duration) { served++ })
+	if err := be.Configure([]Unit{{ID: "u", Profile: testUnitProfile(), TargetBatch: 16}}); err != nil {
+		b.Fatal(err)
+	}
+	clock.RunUntil(2 * time.Second) // model load
+
+	// Precompute the wave: the same one second of arrivals the original
+	// per-iteration form generated live (seed 7, Uniform rate 2000).
+	rng := rand.New(rand.NewSource(7))
+	proc := workload.Uniform{Rate: 2000}
+	var offsets []time.Duration
+	for t := proc.Interarrival(0, rng); t < time.Second; t += proc.Interarrival(t, rng) {
+		offsets = append(offsets, t)
+	}
+
+	// Self-rescheduling arrival pump: one pending timer walks the offset
+	// schedule, so replaying a wave keeps exactly one generator event live
+	// and reuses the closure across iterations.
+	const slo = 100 * time.Millisecond
+	var (
+		start time.Duration
+		idx   int
+		id    uint64
+		pump  func()
+	)
+	pump = func() {
+		now := clock.Now()
+		if err := be.Enqueue("u", Request{ID: id, Session: "s", Arrival: now, Deadline: now + slo}); err != nil {
 			b.Fatal(err)
 		}
-		clock.RunUntil(2 * time.Second) // model load
-		rng := rand.New(rand.NewSource(7))
-		workload.Start(clock, rng, "s", 100*time.Millisecond, workload.Uniform{Rate: 2000},
-			3*time.Second, func(r workload.Request) {
-				if err := be.Enqueue("u", r); err != nil {
-					b.Fatal(err)
-				}
-			})
-		clock.Run()
-		if served == 0 {
-			b.Fatal("no requests served")
+		id++
+		idx++
+		if idx < len(offsets) {
+			clock.At(start+offsets[idx], pump)
 		}
+	}
+	wave := func() {
+		idx = 0
+		start = clock.Now()
+		clock.At(start+offsets[0], pump)
+		clock.Run()
+	}
+	// Warm every pool (event free list, wheel buckets, batch and run
+	// arenas) so the timed region measures steady state.
+	wave()
+	wave()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wave()
+	}
+	b.StopTimer()
+	if served == 0 {
+		b.Fatal("no requests served")
 	}
 }

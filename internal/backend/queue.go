@@ -148,6 +148,38 @@ func (q *Queue) Recycle(batch []Request) {
 	q.free = append(q.free, batch[:0])
 }
 
+// Reserve pre-sizes the ring to hold at least n requests without growing
+// (rounded up to a power of two). Configure calls it with an arena bound
+// derived from the unit's profile so steady-state dispatch never regrows.
+func (q *Queue) Reserve(n int) {
+	if n <= len(q.buf) {
+		return
+	}
+	c := minQueueCap
+	for c < n {
+		c <<= 1
+	}
+	buf := make([]Request, c)
+	q.copyOut(buf[:q.n])
+	q.buf = buf
+	q.head = 0
+}
+
+// PrimeBatches seeds the batch free list up to k slices of capacity c each
+// (bounded by the free-list cap), so the first picks of a fresh unit reuse
+// arena batches instead of allocating their way to steady state.
+func (q *Queue) PrimeBatches(k, c int) {
+	if c < 1 {
+		return
+	}
+	if k > maxFreeBatches {
+		k = maxFreeBatches
+	}
+	for len(q.free) < k {
+		q.free = append(q.free, make([]Request, 0, c))
+	}
+}
+
 // DropPolicy selects which queued requests to execute and which to drop
 // (§4.3, §6.3 "Adaptive Batching").
 type DropPolicy interface {

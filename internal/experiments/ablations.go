@@ -120,7 +120,7 @@ func ablationSlack(rc *RunContext) (*Table, error) {
 		gpus float64
 		err  error
 	}
-	results := runner.Map(len(slacks), func(i int) result {
+	results := runner.MapNamed("ablation-slack", len(slacks), func(i int) result {
 		d, err := cluster.New(cluster.Config{
 			System: cluster.Nexus, Features: cluster.AllFeatures(),
 			GPUs: 4, Seed: 5, Epoch: 10 * time.Second, PlanningSlack: slacks[i],
@@ -170,7 +170,7 @@ func ablationWindow(rc *RunContext) (*Table, error) {
 		Notes:  []string{"the scheduler-assigned batch (25) maximizes goodput; §6.3's window choice is not arbitrary"},
 	}
 	windows := []int{5, 10, 25, 40, 64}
-	tputs := runner.Map(len(windows), func(i int) float64 {
+	tputs := runner.MapNamed("ablation-window", len(windows), func(i int) float64 {
 		return metrics.MaxGoodputK(50, 520, metrics.GoodputTarget, tol, goodputProbes, func(rate float64) float64 {
 			return dropPolicyBadRateWindow(rc, p, rate, windows[i], horizon)
 		})
@@ -207,7 +207,7 @@ func ablationDefer(rc *RunContext) (*Table, error) {
 		err error
 	}
 	modes := []bool{false, true}
-	results := runner.Map(len(modes), func(i int) result {
+	results := runner.MapNamed("ablation-defer", len(modes), func(i int) result {
 		d, err := cluster.New(cluster.Config{
 			System: cluster.Nexus, Features: cluster.AllFeatures(),
 			GPUs: 1, Seed: 9, Epoch: 10 * time.Second, DeferDropped: modes[i],

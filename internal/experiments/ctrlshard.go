@@ -125,7 +125,7 @@ func ctrlShard(rc *RunContext) (*Table, error) {
 		res ctrlShardResult
 		err error
 	}
-	cells := runner.Map(len(variants), func(i int) cell {
+	cells := runner.MapNamed("ctrlshard", len(variants), func(i int) cell {
 		res, err := ctrlShardDeploy(rc, variants[i])
 		return cell{res, err}
 	})

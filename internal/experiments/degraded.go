@@ -127,7 +127,7 @@ func degradedSweep(rc *RunContext) (*Table, error) {
 		recovered bool
 		err       error
 	}
-	results := runner.Map(len(cells), func(i int) result {
+	results := runner.MapNamed("degraded", len(cells), func(i int) result {
 		c := cells[i]
 		cfg := cluster.Config{
 			System: cluster.Nexus, Features: cluster.AllFeatures(),

@@ -101,7 +101,7 @@ func chaosSweep(rc *RunContext) (*Table, error) {
 		recovered  bool
 		err        error
 	}
-	results := runner.Map(len(cells), func(i int) result {
+	results := runner.MapNamed("chaos", len(cells), func(i int) result {
 		c := cells[i]
 		cfg := cluster.Config{
 			System: cluster.Nexus, Features: cluster.AllFeatures(),

@@ -72,7 +72,7 @@ func extensionHetero(*RunContext) (*Table, error) {
 		cost string
 		err  error
 	}
-	homos := runner.Map(len(gpuTypes), func(i int) homo {
+	homos := runner.MapNamed("hetero", len(gpuTypes), func(i int) homo {
 		gpu := gpuTypes[i]
 		cost := hetero.HomogeneousCost(sessions, profiles, gpu, scheduler.Config{})
 		if math.IsInf(cost, 1) {

@@ -137,7 +137,7 @@ func figure10(rc *RunContext) (*Table, error) {
 		{"-ED", func(f *cluster.Features) { f.EarlyDrop = false }},
 		{"-OL", func(f *cluster.Features) { f.Overlap = false }},
 	})...)
-	tputs := runner.Map(len(cells), func(i int) float64 {
+	tputs := runner.MapNamed("figure10", len(cells), func(i int) float64 {
 		return searchGoodput(rc, 20, 150000, horizon, tol,
 			gameBuilder(deployCfg{cells[i].sys, cells[i].f, 16, 11}, 10*time.Second))
 	})
@@ -194,7 +194,7 @@ func figure11(rc *RunContext) (*Table, error) {
 		{"-ED", func(f *cluster.Features) { f.EarlyDrop = false }},
 		{"-OL", func(f *cluster.Features) { f.Overlap = false }},
 	})...)
-	tputs := runner.Map(len(cells), func(i int) float64 {
+	tputs := runner.MapNamed("figure11", len(cells), func(i int) float64 {
 		return searchGoodput(rc, 5, 3000, horizon, tol,
 			trafficBuilder(deployCfg{cells[i].sys, cells[i].f, 16, 7}, false))
 	})
@@ -230,7 +230,7 @@ func figure12(rc *RunContext) (*Table, error) {
 		{"Nexus", cluster.Nexus, cluster.AllFeatures()},
 	}
 	// Cells: system x {rush, non-rush}.
-	tputs := runner.Map(len(systems)*2, func(i int) float64 {
+	tputs := runner.MapNamed("figure12", len(systems)*2, func(i int) float64 {
 		s := systems[i/2]
 		rush := i%2 == 0
 		return searchGoodput(rc, 5, 3000, horizon, tol,
@@ -409,7 +409,7 @@ func figure14(rc *RunContext) (*Table, error) {
 		rows = append(rows, rowSpec{fmt.Sprintf("3 models @%dms", slo), 3, slo * time.Millisecond, 22})
 	}
 	nSys := len(systems)
-	tputs := runner.Map(len(rows)*nSys, func(i int) float64 {
+	tputs := runner.MapNamed("figure14", len(rows)*nSys, func(i int) float64 {
 		r, s := rows[i/nSys], systems[i%nSys]
 		return searchGoodput(rc, 10, 3000, horizon, tol,
 			multiplexBuilder(s.sys, s.f, r.n, r.slo, r.seed))
@@ -530,7 +530,7 @@ func figure16(rc *RunContext) (*Table, error) {
 		})
 	}
 	// Cells: mix x {oblivious, squishy}.
-	tputs := runner.Map(len(mixes)*2, func(i int) float64 {
+	tputs := runner.MapNamed("figure16", len(mixes)*2, func(i int) float64 {
 		return run(mixes[i/2], i%2 == 1)
 	})
 	for i, m := range mixes {
@@ -590,7 +590,7 @@ func figure17(rc *RunContext) (*Table, error) {
 		}
 	}
 	// Cells: (SLO, gamma) x {even split, query analysis}.
-	tputs := runner.Map(len(combos)*2, func(i int) float64 {
+	tputs := runner.MapNamed("figure17", len(combos)*2, func(i int) float64 {
 		c := combos[i/2]
 		return searchGoodput(rc, 2, 2000, horizon, tol,
 			build(c.slo*time.Millisecond, c.gamma, i%2 == 1))

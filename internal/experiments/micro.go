@@ -260,7 +260,7 @@ func figure5(rc *RunContext) (*Table, error) {
 	}
 	alphas := []float64{1.0, 1.2, 1.4, 1.6, 1.8}
 	// Cells: alpha x {uniform, poisson}.
-	bads := runner.Map(len(alphas)*2, func(i int) float64 {
+	bads := runner.MapNamed("figure5", len(alphas)*2, func(i int) float64 {
 		p := fig5Profile(alphas[i/2])
 		if i%2 == 0 {
 			return dropPolicyBadRate(rc, backend.LazyDrop{}, p, workload.Uniform{Rate: 450}, horizon, 1)
@@ -290,7 +290,7 @@ func figure9(rc *RunContext) (*Table, error) {
 	}
 	alphas := []float64{1.0, 1.2, 1.4, 1.6, 1.8}
 	// Cells: alpha x {lazy, early}; each cell is a full k-probe search.
-	tputs := runner.Map(len(alphas)*2, func(i int) float64 {
+	tputs := runner.MapNamed("figure9", len(alphas)*2, func(i int) float64 {
 		p := fig5Profile(alphas[i/2])
 		var policy backend.DropPolicy = backend.LazyDrop{}
 		if i%2 == 1 {

@@ -1,0 +1,228 @@
+package frontend
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nexus/internal/backend"
+	"nexus/internal/gpusim"
+	"nexus/internal/profiler"
+	"nexus/internal/simclock"
+	"nexus/internal/workload"
+)
+
+// These tests exercise the lock-free dispatch path's concurrency contract
+// under -race: any number of Dispatch goroutines may run against
+// control-plane mutations (ApplyDelta, SetTableGen, RemoveBackend) and
+// breaker state flips, as long as none of them overlaps clock event
+// execution. Dispatchers are always joined before clock.Run().
+
+// raceTable builds a table of n sessions, each routed across every backend.
+func raceTable(backends map[string]*backend.Backend, n int) RoutingTable {
+	rt := make(RoutingTable, n)
+	for i := 0; i < n; i++ {
+		var routes []Route
+		for beID := range backends {
+			routes = append(routes, Route{BackendID: beID, UnitID: "u", Weight: 1})
+		}
+		rt[fmt.Sprintf("s%02d", i)] = routes
+	}
+	return rt
+}
+
+// TestConcurrentDispatchAgainstControlPlane drives Dispatch from many
+// goroutines while the control plane pushes deltas, full resyncs, and
+// backend-death repairs. Every dispatch must be accounted for: routed or
+// observed as a drop, never lost or double-counted.
+func TestConcurrentDispatchAgainstControlPlane(t *testing.T) {
+	const (
+		dispatchers = 8
+		perPhase    = 400
+		phases      = 6
+		sessions    = 16
+	)
+	clock, backends, _, _ := setup(t, 3)
+	var drops atomic.Uint64
+	fe := New(clock, backends, 0, func(req workload.Request, reason backend.Outcome) { drops.Add(1) })
+	clock.RunUntil(5 * time.Second) // model loads
+	if err := fe.SetTableGen(raceTable(backends, sessions), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	var sent atomic.Uint64
+	gen := uint64(1)
+	for phase := 0; phase < phases; phase++ {
+		var wg sync.WaitGroup
+		// Control-plane churn racing the dispatchers: a delta that rewrites
+		// half the sessions, a full-table resync, and a backend repair.
+		wg.Add(1)
+		go func(phase int) {
+			defer wg.Done()
+			set := make(map[string][]Route, sessions/2)
+			for i := 0; i < sessions/2; i++ {
+				set[fmt.Sprintf("s%02d", i)] = []Route{
+					{BackendID: "a", UnitID: "u", Weight: 1},
+					{BackendID: "b", UnitID: "u", Weight: 2},
+				}
+			}
+			if err := fe.ApplyDelta(TableDelta{FromGen: gen, Gen: gen + 1, Set: set}); err != nil {
+				t.Error(err)
+				return
+			}
+			gen++
+			if phase%2 == 1 {
+				fe.RemoveBackend("c")
+				if err := fe.SetTableGen(raceTable(fe.backendsView(), sessions), gen+1); err != nil {
+					t.Error(err)
+					return
+				}
+				gen++
+			}
+		}(phase)
+		now := clock.Now()
+		for d := 0; d < dispatchers; d++ {
+			wg.Add(1)
+			go func(d int) {
+				defer wg.Done()
+				for i := 0; i < perPhase; i++ {
+					fe.Dispatch(workload.Request{
+						ID: uint64(d*perPhase + i), Session: fmt.Sprintf("s%02d", i%sessions),
+						Arrival: now, Deadline: now + time.Second,
+					})
+					sent.Add(1)
+				}
+			}(d)
+		}
+		wg.Wait()
+		clock.Run()
+	}
+	if got := fe.Dispatches() + drops.Load(); got != sent.Load() {
+		t.Fatalf("routed %d + dropped %d != sent %d", fe.Dispatches(), drops.Load(), sent.Load())
+	}
+}
+
+// backendsView exposes the backend map for table rebuilding in tests.
+func (f *Frontend) backendsView() map[string]*backend.Backend { return f.backends }
+
+// TestConcurrentDispatchAgainstBreakerFlips races dispatchers against
+// breaker state transitions. The flipper drives the same CAS transitions
+// the delivery path uses, so pick-side routeAllowed/markProbe reads race
+// real state changes.
+func TestConcurrentDispatchAgainstBreakerFlips(t *testing.T) {
+	const dispatchers = 8
+	clock, backends, _, _ := setup(t, 3)
+	var drops atomic.Uint64
+	fe := New(clock, backends, 0, func(req workload.Request, reason backend.Outcome) { drops.Add(1) })
+	clock.RunUntil(5 * time.Second)
+	fe.EnableBreakers(2, 100*time.Millisecond)
+	if err := fe.SetTableGen(raceTable(backends, 4), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	flipperDone := make(chan struct{})
+	go func() {
+		defer close(flipperDone)
+		b := fe.breakers["a"]
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				b.until.Store(int64(clock.Now() + 50*time.Millisecond))
+				fe.transition("a", b, breakerClosed, breakerOpen)
+			case 1:
+				fe.transition("a", b, breakerOpen, breakerHalfOpen)
+			default:
+				fe.transition("a", b, breakerHalfOpen, breakerClosed)
+			}
+		}
+	}()
+	now := clock.Now()
+	var sent atomic.Uint64
+	for d := 0; d < dispatchers; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				fe.Dispatch(workload.Request{
+					ID: uint64(d*1000 + i), Session: fmt.Sprintf("s%02d", i%4),
+					Arrival: now, Deadline: now + time.Second,
+				})
+				sent.Add(1)
+			}
+		}(d)
+	}
+	// Join dispatchers first so flips race dispatches for the whole run,
+	// then stop the flipper and drain the clock.
+	wg.Wait()
+	close(stop)
+	<-flipperDone
+	clock.Run()
+	if got := fe.Dispatches() + drops.Load(); got != sent.Load() {
+		t.Fatalf("routed %d + dropped %d != sent %d", fe.Dispatches(), drops.Load(), sent.Load())
+	}
+}
+
+// TestZeroAllocSteadyState asserts the end-to-end per-request path —
+// admission, snapshot routing, WRR pick, ring hop, network-delay send,
+// enqueue, batch assembly, execution, completion — allocates nothing once
+// the arenas and free lists are warm.
+func TestZeroAllocSteadyState(t *testing.T) {
+	// A fast profile keeps every scheduled horizon (preprocess, batch
+	// execution, postprocess) inside the timer wheel's level-0 span, so
+	// the wheel reaches its steady capacity during warmup instead of
+	// touching fresh far-horizon buckets every step.
+	prof := &profiler.Profile{
+		ModelID: "m", GPU: profiler.GTX1080Ti,
+		Alpha: 50 * time.Microsecond, Beta: 100 * time.Microsecond, MaxBatch: 8,
+		PreprocCPU: 20 * time.Microsecond, PostprocCPU: 10 * time.Microsecond,
+		MemBase: 1 << 28, MemPerItem: 1 << 20,
+	}
+	if err := prof.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	clock := simclock.New()
+	backends := make(map[string]*backend.Backend)
+	for _, id := range []string{"a", "b"} {
+		dev := gpusim.New(clock, "gpu-"+id, profiler.GTX1080Ti, gpusim.Exclusive)
+		be := backend.New(id, clock, dev, backend.Config{Overlap: true}, nil)
+		if err := be.Configure([]backend.Unit{{ID: "u", Profile: prof, TargetBatch: 8}}); err != nil {
+			t.Fatal(err)
+		}
+		backends[id] = be
+	}
+	fe := New(clock, backends, 0, nil)
+	clock.RunUntil(5 * time.Second)
+	if err := fe.SetTable(RoutingTable{"s": {
+		{BackendID: "a", UnitID: "u", Weight: 1},
+		{BackendID: "b", UnitID: "u", Weight: 2},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	var id uint64
+	step := func() {
+		now := clock.Now()
+		for i := 0; i < 16; i++ {
+			fe.Dispatch(workload.Request{ID: id, Session: "s", Arrival: now, Deadline: now + time.Second})
+			id++
+		}
+		clock.Run()
+	}
+	// Warm every pool: event free list, wheel buckets, send arena, queue
+	// rings, batch and run arenas.
+	for i := 0; i < 50; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(100, step); avg != 0 {
+		t.Fatalf("steady-state dispatch allocates %.1f times per 16-request step, want 0", avg)
+	}
+}

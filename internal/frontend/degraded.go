@@ -5,13 +5,18 @@
 // enables it runs the exact same instruction stream as before (goldens
 // stay byte-identical).
 //
-// Threading: like the dispatch path itself, all of this state is touched
-// on the simulation-clock goroutine (Dispatch, deliver, fault-injection
-// callbacks), except lastPush, which Dispatch reads while table-push
-// goroutines write — hence the atomic in Frontend.
+// Threading: the pieces Dispatch touches (lease stamp, breaker state,
+// admission buckets, shed/stale counters) are atomic or CAS-guarded, so
+// they stay correct under concurrent dispatchers on the lock-free path.
+// Configuration (EnableBreakers, SetAdmission, SetLinkDown, ...) and the
+// delivery-side outcome hooks still run on the simulation-clock goroutine.
 package frontend
 
-import "time"
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
 
 // ---------------------------------------------------------------------
 // Routing-table leases.
@@ -61,7 +66,7 @@ func (f *Frontend) LeaseExpired() bool {
 }
 
 // StaleServed returns how many requests were routed on an expired lease.
-func (f *Frontend) StaleServed() uint64 { return f.staleServed }
+func (f *Frontend) StaleServed() uint64 { return f.staleServed.Load() }
 
 // ---------------------------------------------------------------------
 // Per-backend circuit breakers.
@@ -76,7 +81,7 @@ const (
 )
 
 // breakerStateName names a breaker state for observers and telemetry.
-func breakerStateName(s int) string {
+func breakerStateName(s int32) string {
 	switch s {
 	case breakerClosed:
 		return "closed"
@@ -89,11 +94,14 @@ func breakerStateName(s int) string {
 	}
 }
 
-// breaker is one backend's circuit state.
+// breaker is one backend's circuit state. All fields are atomic: the
+// pick side (routeAllowed/markProbe, any dispatcher goroutine) races with
+// the delivery side (breakerFailure/breakerSuccess, clock goroutine), and
+// state changes go through CAS so each transition happens exactly once.
 type breaker struct {
-	state int
-	fails int           // consecutive failures while closed
-	until time.Duration // when an open breaker may probe
+	state atomic.Int32
+	fails atomic.Int32 // consecutive failures while closed
+	until atomic.Int64 // virtual time an open breaker may probe (ns)
 }
 
 // BreakerObserver sees every breaker state transition, for the chaos
@@ -102,68 +110,69 @@ type BreakerObserver func(at time.Duration, backendID, from, to string)
 
 // EnableBreakers arms per-backend circuit breakers: threshold consecutive
 // dispatch failures open a backend's breaker, routing around it until a
-// half-open probe succeeds after cooloff.
+// half-open probe succeeds after cooloff. The breaker map is populated for
+// every known backend up front and never mutated again, so the lock-free
+// dispatch path reads it without coordination.
 func (f *Frontend) EnableBreakers(threshold int, cooloff time.Duration) {
 	if threshold < 1 {
 		threshold = 1
 	}
-	f.breakers = make(map[string]*breaker)
-	f.breakerThreshold = threshold
+	f.breakers = make(map[string]*breaker, len(f.backends))
+	for beID := range f.backends {
+		f.breakers[beID] = &breaker{}
+	}
+	f.breakerThreshold = int32(threshold)
 	f.breakerCooloff = cooloff
 }
 
 // SetBreakerObserver attaches a transition observer; nil detaches it.
 func (f *Frontend) SetBreakerObserver(obs BreakerObserver) { f.onBreaker = obs }
 
-// breakerFor returns (creating if needed) a backend's breaker.
-func (f *Frontend) breakerFor(beID string) *breaker {
-	b, ok := f.breakers[beID]
-	if !ok {
-		b = &breaker{}
-		f.breakers[beID] = b
+// transition moves a breaker from one state to another with a CAS,
+// counting and observing it. It reports whether this caller won the
+// transition (racing dispatchers resolve to exactly one winner).
+func (f *Frontend) transition(beID string, b *breaker, from, to int32) bool {
+	if from == to || !b.state.CompareAndSwap(from, to) {
+		return false
 	}
-	return b
-}
-
-// transition moves a breaker between states, counting and observing it.
-func (f *Frontend) transition(beID string, b *breaker, to int) {
-	from := b.state
-	if from == to {
-		return
-	}
-	b.state = to
-	f.breakerTransitions++
+	f.breakerTransitions.Add(1)
 	if f.onBreaker != nil {
 		f.onBreaker(f.clock.Now(), beID, breakerStateName(from), breakerStateName(to))
 	}
+	return true
 }
 
-// breakerFailure records a dispatch failure against a backend.
+// breakerFailure records a dispatch failure against a backend (delivery
+// side, clock goroutine).
 func (f *Frontend) breakerFailure(beID string) {
-	b := f.breakerFor(beID)
-	switch b.state {
+	b, ok := f.breakers[beID]
+	if !ok {
+		return
+	}
+	switch b.state.Load() {
 	case breakerHalfOpen:
 		// The probe failed: straight back to open for another cooloff.
-		b.until = f.clock.Now() + f.breakerCooloff
-		f.transition(beID, b, breakerOpen)
+		b.until.Store(int64(f.clock.Now() + f.breakerCooloff))
+		f.transition(beID, b, breakerHalfOpen, breakerOpen)
 	case breakerClosed:
-		b.fails++
-		if b.fails >= f.breakerThreshold {
-			b.until = f.clock.Now() + f.breakerCooloff
-			f.transition(beID, b, breakerOpen)
+		if b.fails.Add(1) >= f.breakerThreshold {
+			b.until.Store(int64(f.clock.Now() + f.breakerCooloff))
+			f.transition(beID, b, breakerClosed, breakerOpen)
 		}
 	}
 }
 
-// breakerSuccess records a successful enqueue on a backend.
+// breakerSuccess records a successful enqueue on a backend (delivery side,
+// clock goroutine).
 func (f *Frontend) breakerSuccess(beID string) {
 	b, ok := f.breakers[beID]
 	if !ok {
 		return
 	}
-	b.fails = 0
-	if b.state != breakerClosed {
-		f.transition(beID, b, breakerClosed)
+	b.fails.Store(0)
+	switch s := b.state.Load(); s {
+	case breakerOpen, breakerHalfOpen:
+		f.transition(beID, b, s, breakerClosed)
 	}
 }
 
@@ -175,11 +184,11 @@ func (f *Frontend) routeAllowed(beID string) bool {
 	if !ok {
 		return true
 	}
-	switch b.state {
+	switch b.state.Load() {
 	case breakerClosed:
 		return true
 	case breakerOpen:
-		return f.clock.Now() >= b.until
+		return f.clock.Now() >= time.Duration(b.until.Load())
 	default: // half-open
 		return false
 	}
@@ -187,10 +196,13 @@ func (f *Frontend) routeAllowed(beID string) bool {
 
 // markProbe flips a cooled-off open breaker to half-open when its backend
 // is actually picked — not merely considered — so exactly one probe is in
-// flight and a pick that lands elsewhere doesn't wedge the breaker.
+// flight and a pick that lands elsewhere doesn't wedge the breaker. The
+// open→half-open CAS means racing dispatchers send exactly one probe's
+// worth of transitions.
 func (f *Frontend) markProbe(beID string) {
-	if b, ok := f.breakers[beID]; ok && b.state == breakerOpen && f.clock.Now() >= b.until {
-		f.transition(beID, b, breakerHalfOpen)
+	if b, ok := f.breakers[beID]; ok && b.state.Load() == breakerOpen &&
+		f.clock.Now() >= time.Duration(b.until.Load()) {
+		f.transition(beID, b, breakerOpen, breakerHalfOpen)
 	}
 }
 
@@ -203,6 +215,8 @@ func (f *Frontend) markProbe(beID string) {
 // without a burst of banked credit. Returns false when no replica is
 // currently allowed.
 func (f *Frontend) pickAvoiding(st *sessionState) (resolvedRoute, bool) {
+	st.lock()
+	defer st.unlock()
 	state := st.wrr
 	var total float64
 	best := -1
@@ -227,14 +241,14 @@ func (f *Frontend) pickAvoiding(st *sessionState) (resolvedRoute, bool) {
 }
 
 // BreakerTransitions returns the lifetime count of breaker state changes.
-func (f *Frontend) BreakerTransitions() uint64 { return f.breakerTransitions }
+func (f *Frontend) BreakerTransitions() uint64 { return f.breakerTransitions.Load() }
 
 // OpenBreakers returns how many backends are currently open or half-open
 // (i.e. being routed around).
 func (f *Frontend) OpenBreakers() int {
 	n := 0
 	for _, b := range f.breakers {
-		if b.state != breakerClosed {
+		if b.state.Load() != breakerClosed {
 			n++
 		}
 	}
@@ -297,14 +311,28 @@ type AdmissionConfig struct {
 }
 
 // tokenBucket refills by elapsed virtual time, which keeps admission
-// decisions deterministic: same arrival sequence, same sheds.
+// decisions deterministic: same arrival sequence, same sheds. The spin
+// guard shards admission contention per session the same way sessionState
+// does for WRR: concurrent dispatchers for different sessions never touch
+// the same bucket, and same-session races serialize on two atomic ops.
 type tokenBucket struct {
 	rate     float64
 	burst    float64
 	tokens   float64
 	last     time.Duration
 	priority int
+	spin     atomic.Uint32
 }
+
+func (tb *tokenBucket) lock() {
+	for i := 0; !tb.spin.CompareAndSwap(0, 1); i++ {
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (tb *tokenBucket) unlock() { tb.spin.Store(0) }
 
 func (tb *tokenBucket) refill(now time.Duration) {
 	if now > tb.last {
@@ -347,20 +375,27 @@ func (f *Frontend) admit(session string) bool {
 		return true
 	}
 	now := f.clock.Now()
+	tb.lock()
 	tb.refill(now)
 	if tb.tokens >= 1 {
 		tb.tokens--
+		tb.unlock()
 		return true
 	}
+	tb.unlock()
 	if tb.priority > 0 && f.reserve != nil {
-		f.reserve.refill(now)
-		if f.reserve.tokens >= 1 {
-			f.reserve.tokens--
+		rb := f.reserve
+		rb.lock()
+		rb.refill(now)
+		if rb.tokens >= 1 {
+			rb.tokens--
+			rb.unlock()
 			return true
 		}
+		rb.unlock()
 	}
 	return false
 }
 
 // AdmissionSheds returns how many requests admission control dropped.
-func (f *Frontend) AdmissionSheds() uint64 { return f.admissionSheds }
+func (f *Frontend) AdmissionSheds() uint64 { return f.admissionSheds.Load() }

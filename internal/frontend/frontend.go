@@ -9,12 +9,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"nexus/internal/backend"
+	"nexus/internal/ring"
 	"nexus/internal/simclock"
 	"nexus/internal/trace"
 	"nexus/internal/workload"
@@ -87,14 +89,34 @@ type resolvedRoute struct {
 
 // sessionState is the per-session dispatch state: resolved routes, the
 // smooth-WRR accumulator, and the rate counter. Collapsing these into one
-// struct makes Dispatch a single map lookup per request. The count is
-// atomic so a table mutation can carry it over while a dispatch is in
-// flight; routes and wrr are written only when the state is created.
+// struct makes Dispatch a single map lookup per request, and holding the
+// mutable parts per session shards dispatch state: concurrent Dispatch
+// calls for different sessions touch disjoint cache lines and never
+// contend. The count is atomic so a table mutation can carry it over while
+// a dispatch is in flight; routes are written only when the state is
+// created; the wrr accumulator is guarded by spin, a per-session CAS flag
+// held for the handful of float ops one pick needs (uncontended it costs
+// two uncontended atomic ops — there is no mutex anywhere on this path).
 type sessionState struct {
 	routes []resolvedRoute
 	wrr    []float64
+	spin   atomic.Uint32
 	count  atomic.Uint64
 }
+
+// lock acquires the session's WRR guard. Contention only occurs between
+// concurrent dispatchers of the same session, and the critical section is
+// a short float scan, so spinning beats parking; Gosched keeps a stalled
+// owner from starving its waiters.
+func (st *sessionState) lock() {
+	for i := 0; !st.spin.CompareAndSwap(0, 1); i++ {
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (st *sessionState) unlock() { st.spin.Store(0) }
 
 // tableState is the immutable routing snapshot the dispatch path reads:
 // the table, its resolved per-session dispatch state, and the control-plane
@@ -118,18 +140,30 @@ type Frontend struct {
 	retry bool
 
 	// state is the current routing snapshot; the dispatch hot path loads it
-	// once per request. Table mutations are serialized by mu and swap in a
-	// fresh snapshot, which makes delta application safe to interleave with
-	// concurrent dispatches (the dispatcher itself is single-threaded).
+	// once per request and never takes a lock. Table mutations are
+	// serialized by mu — a control-plane-rate lock only — and swap in a
+	// fresh snapshot, so any number of concurrent Dispatch calls interleave
+	// safely with pushes, deltas, and failure repairs.
 	state atomic.Pointer[tableState]
 	mu    sync.Mutex
 	// tableVersion counts routing-table changes (control-plane pushes and
 	// failure repairs), for telemetry.
 	tableVersion atomic.Uint64
-	// dispatches and retries count routed requests and retry-once re-sends
-	// over the frontend's lifetime, for telemetry.
-	dispatches uint64
-	retries    uint64
+	// dispatches and retries count routed requests and retry re-sends over
+	// the frontend's lifetime, for telemetry. Atomic: Dispatch may run on
+	// many goroutines at once.
+	dispatches atomic.Uint64
+	retries    atomic.Uint64
+
+	// ingress is the lock-free MPSC ring carrying picked (request, route)
+	// pairs from Dispatch callers to the frontend→backend network hop, and
+	// pumping is the CAS flag electing exactly one of them to drain it
+	// (the hop schedules simulation-clock events, and the clock is
+	// single-threaded). With one dispatcher the ring is strict FIFO and the
+	// pump runs inline, so simulation behaviour is byte-identical to
+	// calling send directly.
+	ingress *ring.MPSC[pendingDispatch]
+	pumping atomic.Uint32
 
 	// onDrop observes requests the frontend loses, with the reason.
 	onDrop DropFunc
@@ -146,7 +180,10 @@ type Frontend struct {
 	windowFrom time.Duration
 
 	// sendPool recycles in-flight send state (and its bound delivery
-	// callback) so the per-request network hop allocates nothing.
+	// callback) so the per-request network hop allocates nothing. It is
+	// touched only by the elected pump owner and by delivery events on the
+	// clock goroutine, so it needs no lock; New seeds it from a contiguous
+	// arena so a fresh frontend reaches steady state without growing it.
 	sendPool []*pendingSend
 
 	// Degraded-mode survival state (see degraded.go). All nil/zero when the
@@ -161,22 +198,33 @@ type Frontend struct {
 	leaseTTL    time.Duration
 	serveStale  bool
 	lastPush    atomic.Int64
-	staleServed uint64
-	// breakers holds per-backend circuit state; touched only on the clock
-	// goroutine (deliver/pick/altRoute), like dispatches.
+	staleServed atomic.Uint64
+	// breakers holds per-backend circuit state. The map is built once at
+	// EnableBreakers (one breaker per known backend) and read-only after,
+	// so concurrent dispatchers index it freely; each breaker's fields are
+	// atomic because pick-side probes race with delivery-side outcomes.
 	breakers           map[string]*breaker
-	breakerThreshold   int
+	breakerThreshold   int32
 	breakerCooloff     time.Duration
-	breakerTransitions uint64
+	breakerTransitions atomic.Uint64
 	onBreaker          BreakerObserver
 	// linkDown marks backends behind a severed frontend<->backend link
 	// (data partition): alive from the scheduler's view, unreachable here.
 	linkDown map[string]bool
 	// admission holds per-session token buckets; reserve is the shared
-	// priority pool. admissionSheds counts DropAdmission outcomes.
+	// priority pool. The map is read-only after setup; each bucket carries
+	// its own CAS guard. admissionSheds counts DropAdmission outcomes.
 	admission      map[string]*tokenBucket
 	reserve        *tokenBucket
-	admissionSheds uint64
+	admissionSheds atomic.Uint64
+}
+
+// pendingDispatch is one picked (request, route) pair queued on the
+// ingress ring between a Dispatch caller and the network hop.
+type pendingDispatch struct {
+	req     workload.Request
+	r       resolvedRoute
+	attempt int
 }
 
 // pendingSend is one request in flight across the frontend->backend network
@@ -240,7 +288,7 @@ func (p *pendingSend) deliver() {
 				backoff := f.retryBase << (attempt - 1)
 				if alt, ok := f.altRoute(req.Session, r.BackendID); ok &&
 					req.Deadline-f.clock.Now() > backoff+f.netDelay+f.extraDelay {
-					f.retries++
+					f.retries.Add(1)
 					next := attempt + 1
 					f.clock.After(backoff, func() { f.send(req, alt, next) })
 					return
@@ -249,7 +297,7 @@ func (p *pendingSend) deliver() {
 		} else if f.retry && attempt == 1 {
 			if alt, ok := f.altRoute(req.Session, r.BackendID); ok &&
 				req.Deadline-f.clock.Now() > f.netDelay+f.extraDelay {
-				f.retries++
+				f.retries.Add(1)
 				f.send(req, alt, 2)
 				return
 			}
@@ -260,6 +308,15 @@ func (p *pendingSend) deliver() {
 
 // DefaultNetDelay is the one-way frontend<->backend dispatch latency.
 const DefaultNetDelay = 500 * time.Microsecond
+
+// ingressCap bounds the in-flight picked-but-not-yet-sent requests on the
+// ingress ring; a full ring makes the pushing dispatcher drain it itself.
+const ingressCap = 1024
+
+// sendArenaSize is how many pendingSend objects New pre-allocates as one
+// contiguous block. It caps the common in-flight count of a single
+// network-delay window; past it the pool grows one object at a time.
+const sendArenaSize = 64
 
 // New creates a frontend over the given backends. netDelay < 0 uses the
 // default; 0 is allowed (ideal network).
@@ -274,8 +331,20 @@ func New(clock *simclock.Clock, backends map[string]*backend.Backend, netDelay t
 		netDelay: netDelay,
 		onDrop:   onDrop,
 		residual: make(map[string]uint64),
+		ingress:  ring.NewMPSC[pendingDispatch](ingressCap),
 	}
 	f.state.Store(&tableState{table: RoutingTable{}, sessions: make(map[string]*sessionState)})
+	// Request-callback arena: one block, bound callbacks included, so the
+	// network hop never allocates while the in-flight window stays within
+	// the arena.
+	arena := make([]pendingSend, sendArenaSize)
+	f.sendPool = make([]*pendingSend, 0, sendArenaSize)
+	for i := range arena {
+		p := &arena[i]
+		p.f = f
+		p.fire = p.deliver
+		f.sendPool = append(f.sendPool, p)
+	}
 	return f
 }
 
@@ -432,9 +501,18 @@ func (f *Frontend) resolve(routes []Route) []resolvedRoute {
 // route are reported unroutable; token-bucket admission (when configured)
 // sheds before routing with DropAdmission; an expired route lease either
 // serves stale or stops routing.
+//
+// Dispatch is lock-free and safe for any number of concurrent callers:
+// routing reads an atomic snapshot, counters are atomic, per-session WRR
+// state is CAS-guarded, and the hand-off to the network hop goes through
+// the ingress ring. Concurrent callers may not overlap with the clock
+// goroutine executing events (the simulation clock is single-threaded);
+// join dispatchers before running the clock, as live mode's pump tick
+// does. With concurrent dispatchers, onDrop and the tracer must be
+// concurrency-safe too.
 func (f *Frontend) Dispatch(req workload.Request) {
 	if f.admission != nil && !f.admit(req.Session) {
-		f.admissionSheds++
+		f.admissionSheds.Add(1)
 		f.drop(req, backend.DropAdmission)
 		return
 	}
@@ -450,7 +528,7 @@ func (f *Frontend) Dispatch(req workload.Request) {
 			f.drop(req, backend.DropUnroutable)
 			return
 		}
-		f.staleServed++
+		f.staleServed.Add(1)
 	}
 	var r resolvedRoute
 	if f.breakers != nil {
@@ -465,14 +543,53 @@ func (f *Frontend) Dispatch(req workload.Request) {
 		r = st.pick()
 	}
 	st.count.Add(1)
-	f.dispatches++
+	f.dispatches.Add(1)
 	if f.tracer != nil {
 		f.tracer.Record(trace.Event{
 			At: f.clock.Now(), Kind: trace.Route, ReqID: req.ID,
 			Session: req.Session, Backend: r.BackendID, Unit: r.UnitID,
 		})
 	}
-	f.send(req, r, 1)
+	f.enqueueHop(req, r)
+}
+
+// enqueueHop hands a picked request to the frontend→backend network hop
+// through the lock-free ingress ring, then pumps. A full ring means the
+// pump owner is behind; the pusher helps by pumping (or spinning until the
+// owner frees a slot).
+func (f *Frontend) enqueueHop(req workload.Request, r resolvedRoute) {
+	pd := pendingDispatch{req: req, r: r, attempt: 1}
+	for i := 0; !f.ingress.Push(pd); i++ {
+		f.pump()
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+	f.pump()
+}
+
+// pump elects this goroutine (CAS on pumping) to drain the ingress ring
+// into send, which schedules the delivery event on the simulation clock.
+// Losing the election is fine — the winner drains everything published —
+// but the loser re-checks after the owner releases the flag so an item
+// pushed during the hand-off window is never stranded.
+func (f *Frontend) pump() {
+	for {
+		if !f.pumping.CompareAndSwap(0, 1) {
+			return
+		}
+		for {
+			pd, ok := f.ingress.Pop()
+			if !ok {
+				break
+			}
+			f.send(pd.req, pd.r, pd.attempt)
+		}
+		f.pumping.Store(0)
+		if f.ingress.Empty() {
+			return
+		}
+	}
 }
 
 // send delivers req to route r after the network delay, classifying any
@@ -594,15 +711,19 @@ func (f *Frontend) TableVersion() uint64 { return f.tableVersion.Load() }
 
 // Dispatches returns how many requests this frontend has routed (excludes
 // unroutable admission drops, which never reached a backend).
-func (f *Frontend) Dispatches() uint64 { return f.dispatches }
+func (f *Frontend) Dispatches() uint64 { return f.dispatches.Load() }
 
 // Retries returns how many dispatches took the retry-once path after
 // hitting a dead backend or a reconfiguration race.
-func (f *Frontend) Retries() uint64 { return f.retries }
+func (f *Frontend) Retries() uint64 { return f.retries.Load() }
 
 // pick implements smooth weighted round-robin, which spreads a session's
-// requests across its replicas proportionally and deterministically.
+// requests across its replicas proportionally and deterministically. The
+// accumulator scan runs under the session's CAS guard so concurrent
+// dispatchers of one session stay correct; the pick sequence itself is
+// unchanged from the unguarded version.
 func (st *sessionState) pick() resolvedRoute {
+	st.lock()
 	state := st.wrr
 	var total float64
 	best := 0
@@ -615,7 +736,9 @@ func (st *sessionState) pick() resolvedRoute {
 		}
 	}
 	state[best] -= total
-	return st.routes[best]
+	r := st.routes[best]
+	st.unlock()
+	return r
 }
 
 // ObservedRates returns each session's request rate (req/s) since the last

@@ -199,10 +199,14 @@ func TestDeltaRoutingResyncAfterLocalRepair(t *testing.T) {
 	genBefore := e.fe.Generation()
 	// Simulate a local repair: the frontend deletes a backend's routes on
 	// its own and moves off the control plane's generation sequence.
+	// Pick the lexicographically smallest in-use backend: iterating the map
+	// directly made the victim — and therefore whether the repaired routes
+	// intersect the next epoch's plan — vary run to run.
 	var victim string
 	for beID := range e.pool.inUse {
-		victim = beID
-		break
+		if victim == "" || beID < victim {
+			victim = beID
+		}
 	}
 	if e.fe.RemoveBackend(victim) == 0 {
 		t.Fatalf("backend %s had no routes to repair", victim)

@@ -146,6 +146,24 @@ func (p *Profile) Validate() error {
 	return nil
 }
 
+// MemoBatches returns how many batch sizes the dense latency memo table
+// covers: the table length once Validate has memoized, otherwise MaxBatch
+// clamped to the memo bound (minimum 1). It is the natural arena-sizing
+// figure for batch-shaped pools — no executed batch is ever larger.
+func (p *Profile) MemoBatches() int {
+	if n := len(p.lat); n > 0 {
+		return n
+	}
+	n := p.MaxBatch
+	if n > maxMemoBatch {
+		n = maxMemoBatch
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // BatchLatency returns ℓ(b), the GPU execution latency of a batch of b.
 // It panics for b < 1; b beyond MaxBatch extrapolates linearly (callers
 // should clamp, but extrapolation keeps analysis code total).

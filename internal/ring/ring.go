@@ -1,0 +1,109 @@
+// Package ring provides a bounded lock-free multi-producer ring buffer for
+// cross-goroutine handoff on the data plane — the frontend↔backend enqueue
+// hop uses it so concurrent Dispatch callers never contend on a mutex.
+//
+// The algorithm is the classic bounded MPMC queue of Dmitry Vyukov (the
+// same idiom strand-protocol uses for its delivery rings): every slot
+// carries a sequence number that encodes which "lap" of the ring it is on,
+// so producers claim slots with one CAS on the tail cursor and publish with
+// one release-store on the slot, never blocking each other. The consumer
+// side here is single-consumer (the simulation-clock pump), which keeps
+// Pop to plain loads/stores on the head cursor.
+//
+// Determinism: with a single producer the ring is strict FIFO, so routing a
+// request through it adds no reordering — a single-threaded simulation
+// behaves byte-identically to calling the consumer directly.
+package ring
+
+import "sync/atomic"
+
+// slot is one ring cell. seq encodes the slot's state relative to the
+// cursors: seq == index means free for the producer of lap 0, seq ==
+// index+1 means a value is published and ready for the consumer, and each
+// consume advances seq by the ring capacity (the next lap's "free" mark).
+type slot[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// MPSC is a bounded lock-free multi-producer, single-consumer ring.
+// Producers may call Push concurrently; Pop must be serialized (one
+// consumer at a time — the frontend serializes it with an atomic pump
+// flag). The zero value is not usable; call NewMPSC.
+type MPSC[T any] struct {
+	mask  uint64
+	slots []slot[T]
+	// head is the consumer cursor (next slot to pop); tail is the producer
+	// cursor (next slot to claim). Padded apart by field order — false
+	// sharing between them costs little next to the CAS itself at the
+	// contention levels a frontend sees, so we keep the layout simple.
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+// NewMPSC returns a ring holding at least capacity items (rounded up to a
+// power of two, minimum 2).
+func NewMPSC[T any](capacity int) *MPSC[T] {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	r := &MPSC[T]{mask: uint64(n - 1), slots: make([]slot[T], n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring's capacity.
+func (r *MPSC[T]) Cap() int { return len(r.slots) }
+
+// Push publishes v. It reports false when the ring is full; it never
+// blocks. Safe for any number of concurrent callers.
+func (r *MPSC[T]) Push(v T) bool {
+	for {
+		tail := r.tail.Load()
+		s := &r.slots[tail&r.mask]
+		switch seq := s.seq.Load(); {
+		case seq == tail:
+			// Slot free on this lap: claim it. A failed CAS means another
+			// producer took it first; reload and retry.
+			if r.tail.CompareAndSwap(tail, tail+1) {
+				s.val = v
+				s.seq.Store(tail + 1) // publish (release)
+				return true
+			}
+		case seq < tail:
+			// The slot still holds last lap's value: ring full.
+			return false
+		default:
+			// Another producer claimed this tail; reload.
+		}
+	}
+}
+
+// Pop removes the oldest published value. It reports false when no
+// published value is ready (the ring is empty, or a producer has claimed a
+// slot but not yet published it). Single consumer only.
+func (r *MPSC[T]) Pop() (T, bool) {
+	head := r.head.Load()
+	s := &r.slots[head&r.mask]
+	if s.seq.Load() != head+1 {
+		var zero T
+		return zero, false
+	}
+	v := s.val
+	var zero T
+	s.val = zero // release the payload; the slot may sit idle for a while
+	s.seq.Store(head + r.mask + 1)
+	r.head.Store(head + 1)
+	return v, true
+}
+
+// Empty reports whether no published value is ready at the consumer
+// cursor. Producers use it to re-check for stranded items after releasing
+// the consumer role (the pump-flag handoff race).
+func (r *MPSC[T]) Empty() bool {
+	head := r.head.Load()
+	return r.slots[head&r.mask].seq.Load() != head+1
+}

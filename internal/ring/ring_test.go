@@ -1,0 +1,132 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024},
+	} {
+		if got := NewMPSC[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("NewMPSC(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestFIFOSingleProducer(t *testing.T) {
+	r := NewMPSC[int](8)
+	if !r.Empty() {
+		t.Fatal("fresh ring not empty")
+	}
+	// Interleave pushes and pops so the cursors wrap several laps; pops
+	// must see 0,1,2,... in push order.
+	want := 0
+	for i := 0; i < 100; i++ {
+		if !r.Push(i) {
+			t.Fatalf("push %d failed on non-full ring", i)
+		}
+		if i%2 == 1 {
+			for j := 0; j < 2; j++ {
+				v, ok := r.Pop()
+				if !ok {
+					t.Fatalf("pop failed with items queued (i=%d)", i)
+				}
+				if v != want {
+					t.Fatalf("pop = %d, want %d", v, want)
+				}
+				want++
+			}
+		}
+	}
+	if !r.Empty() {
+		t.Fatal("ring should be drained")
+	}
+}
+
+func TestStrictFIFOOrder(t *testing.T) {
+	r := NewMPSC[int](4)
+	next := 0
+	popped := 0
+	for lap := 0; lap < 10; lap++ {
+		for r.Push(next) {
+			next++
+		}
+		for {
+			v, ok := r.Pop()
+			if !ok {
+				break
+			}
+			if v != popped {
+				t.Fatalf("pop = %d, want %d", v, popped)
+			}
+			popped++
+		}
+	}
+	if popped != next || popped == 0 {
+		t.Fatalf("popped %d of %d pushed", popped, next)
+	}
+}
+
+func TestFullRejects(t *testing.T) {
+	r := NewMPSC[int](4)
+	for i := 0; i < 4; i++ {
+		if !r.Push(i) {
+			t.Fatalf("push %d rejected before full", i)
+		}
+	}
+	if r.Push(99) {
+		t.Fatal("push succeeded on full ring")
+	}
+	if v, ok := r.Pop(); !ok || v != 0 {
+		t.Fatalf("pop = %d,%v want 0,true", v, ok)
+	}
+	if !r.Push(99) {
+		t.Fatal("push rejected after a pop freed a slot")
+	}
+}
+
+// TestConcurrentProducers hammers Push from many goroutines while one
+// consumer drains — the MPSC contract. Meaningful under -race. Every
+// pushed value must be popped exactly once.
+func TestConcurrentProducers(t *testing.T) {
+	const producers = 8
+	const perProducer = 2000
+	r := NewMPSC[uint64](256)
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := uint64(p*perProducer + i)
+				for !r.Push(v) {
+					runtime.Gosched() // full: the consumer will catch up
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	var sum uint64
+	var count int
+	go func() {
+		defer close(done)
+		for count < producers*perProducer {
+			v, ok := r.Pop()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			sum += v
+			count++
+		}
+	}()
+	wg.Wait()
+	<-done
+	n := uint64(producers * perProducer)
+	if want := n * (n - 1) / 2; sum != want {
+		t.Fatalf("sum of popped values = %d, want %d (lost or duplicated items)", sum, want)
+	}
+}

@@ -18,7 +18,10 @@
 package runner
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -46,11 +49,26 @@ func DefaultWorkers() int {
 // Map runs fn(0..n-1) on up to DefaultWorkers() goroutines and returns the
 // results in index order. fn must be safe for concurrent invocation.
 func Map[T any](n int, fn func(i int) T) []T {
-	return MapN(DefaultWorkers(), n, fn)
+	return mapN("", DefaultWorkers(), n, fn)
+}
+
+// MapNamed is Map with a pprof label: every worker (and the sequential
+// fallback) runs under labels {sweep=name, worker=W}, so -cpuprofile and
+// -memprofile samples attribute to the experiment that produced them
+// (`go tool pprof -tagfocus sweep=figure10 ...`). Labels do not affect
+// execution order, so the determinism contract is unchanged.
+func MapNamed[T any](name string, n int, fn func(i int) T) []T {
+	return mapN(name, DefaultWorkers(), n, fn)
 }
 
 // MapN is Map with an explicit worker bound (<= 0 means GOMAXPROCS).
 func MapN[T any](workers, n int, fn func(i int) T) []T {
+	return mapN("", workers, n, fn)
+}
+
+// mapN is the shared fork-join core. A non-empty label wraps each worker
+// body in pprof.Do so profile samples carry sweep/worker tags.
+func mapN[T any](label string, workers, n int, fn func(i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
@@ -59,8 +77,16 @@ func MapN[T any](workers, n int, fn func(i int) T) []T {
 	}
 	out := make([]T, n)
 	if workers == 1 || n == 1 {
-		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+		run := func() {
+			for i := 0; i < n; i++ {
+				out[i] = fn(i)
+			}
+		}
+		if label == "" {
+			run()
+		} else {
+			pprof.Do(context.Background(), pprof.Labels("sweep", label, "worker", "0"),
+				func(context.Context) { run() })
 		}
 		return out
 	}
@@ -71,16 +97,24 @@ func MapN[T any](workers, n int, fn func(i int) T) []T {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+			body := func() {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					out[i] = fn(i)
 				}
-				out[i] = fn(i)
 			}
-		}()
+			if label == "" {
+				body()
+				return
+			}
+			pprof.Do(context.Background(), pprof.Labels("sweep", label, "worker", strconv.Itoa(w)),
+				func(context.Context) { body() })
+		}(w)
 	}
 	wg.Wait()
 	return out

@@ -1,9 +1,12 @@
 package runner
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -117,5 +120,43 @@ func TestNestedMap(t *testing.T) {
 	}
 	if got != want {
 		t.Fatalf("nested sum = %d, want %d", got, want)
+	}
+}
+
+// TestMapNamedLabels asserts that MapNamed workers run under pprof labels.
+// Goroutine labels are not directly readable from inside the goroutine, so
+// each worker snapshots the labeled goroutine profile (debug=1 includes a
+// "labels:" line per stack) while it is running and checks its own sweep
+// label appears.
+func TestMapNamedLabels(t *testing.T) {
+	dumpHasLabel := func(sweep string) bool {
+		var buf bytes.Buffer
+		if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+			t.Error(err)
+			return false
+		}
+		return strings.Contains(buf.String(), `"sweep":"`+sweep+`"`) &&
+			strings.Contains(buf.String(), `"worker":"`)
+	}
+	SetDefaultWorkers(4)
+	defer SetDefaultWorkers(0)
+	got := MapNamed("unit-test-sweep", 8, func(i int) bool {
+		return dumpHasLabel("unit-test-sweep")
+	})
+	for i, labeled := range got {
+		if !labeled {
+			t.Fatalf("item %d ran without sweep/worker labels", i)
+		}
+	}
+	// The sequential path (workers=1) must label too: profiles from
+	// -parallel 1 runs should attribute the same way.
+	SetDefaultWorkers(1)
+	seq := MapNamed("unit-test-seq", 2, func(i int) bool {
+		return dumpHasLabel("unit-test-seq")
+	})
+	for i, labeled := range seq {
+		if !labeled {
+			t.Fatalf("sequential item %d ran without sweep label", i)
+		}
 	}
 }

@@ -103,9 +103,24 @@ type event struct {
 	gen uint64
 }
 
+// bucketPrealloc is the per-bucket capacity New carves from one contiguous
+// arena: first-touch appends on wheel buckets otherwise allocate piecemeal
+// for the first wrap of each level, which shows up as a slow allocation
+// drip in steady-state measurements. Buckets that outgrow it fall back to
+// normal append growth and keep the larger capacity on reuse.
+const bucketPrealloc = 4
+
 // New returns a clock starting at time zero with an empty event queue.
 func New() *Clock {
-	return &Clock{}
+	c := &Clock{}
+	arena := make([]*event, 2*numSlots*bucketPrealloc)
+	for i := range c.level0 {
+		c.level0[i] = arena[:0:bucketPrealloc]
+		arena = arena[bucketPrealloc:]
+		c.level1[i] = arena[:0:bucketPrealloc]
+		arena = arena[bucketPrealloc:]
+	}
+	return c
 }
 
 // Now returns the current virtual time.
@@ -218,13 +233,12 @@ func (c *Clock) loadBucket(idx int64) {
 // scattered into level-0 buckets. Must be called with the cursor parked on
 // the last bucket before the region (cur == r*numSlots - 1).
 func (c *Clock) enterRegion(r int64) {
-	for len(c.far) > 0 {
-		e := c.far[0]
-		if e.cancelled {
+	for c.far.len() > 0 {
+		if c.far.top().cancelled {
 			c.recycle(c.far.pop())
 			continue
 		}
-		if bucketOf(e.at)>>slotBits > r {
+		if bucketOf(c.far.topAt())>>slotBits > r {
 			break
 		}
 		c.insert(c.far.pop())
@@ -252,10 +266,10 @@ func (c *Clock) advance() bool {
 		if c.n0 == 0 && c.n1 == 0 {
 			// Only the overflow heap can hold work: jump the cursor next
 			// to its earliest event instead of sweeping empty buckets.
-			for len(c.far) > 0 && c.far[0].cancelled {
+			for c.far.len() > 0 && c.far.top().cancelled {
 				c.recycle(c.far.pop())
 			}
-			if len(c.far) == 0 {
+			if c.far.len() == 0 {
 				return false
 			}
 			e := c.far.pop()
@@ -276,7 +290,7 @@ func (c *Clock) advance() bool {
 				}
 				c.cur = s
 				c.loadBucket(s)
-				if len(c.curHeap) > 0 {
+				if c.curHeap.len() > 0 {
 					return true
 				}
 			}
@@ -289,8 +303,8 @@ func (c *Clock) advance() bool {
 // the wheel cursor forward, which never changes firing order.
 func (c *Clock) peek() *event {
 	for {
-		for len(c.curHeap) > 0 {
-			e := c.curHeap[0]
+		for c.curHeap.len() > 0 {
+			e := c.curHeap.top()
 			if !e.cancelled {
 				return e
 			}
@@ -412,50 +426,74 @@ func (t *Ticker) Stop() {
 // eventHeap is a hand-rolled min-heap ordered by (at, seq). It backs the
 // cursor bucket and the far-future overflow; manual sifting avoids the
 // interface boxing of container/heap on the hot path.
-type eventHeap []*event
+//
+// The layout is struct-of-arrays: the sort keys (at, seq) live in their own
+// dense slices, with the event pointers in a parallel slice. Heap sifts are
+// compare-heavy, and in SoA form every comparison reads two hot, contiguous
+// key arrays instead of dereferencing two event pointers scattered across
+// the free-list — the keys for an entire sift path usually share a couple
+// of cache lines.
+type eventHeap struct {
+	at  []time.Duration
+	seq []uint64
+	ev  []*event
+}
 
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) len() int { return len(h.ev) }
+
+// top returns the minimum event without removing it. Callers check len.
+func (h *eventHeap) top() *event { return h.ev[0] }
+
+// topAt returns the minimum event's timestamp straight from the key array.
+func (h *eventHeap) topAt() time.Duration { return h.at[0] }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.at[i] != h.at[j] {
+		return h.at[i] < h.at[j]
 	}
-	return h[i].seq < h[j].seq
+	return h.seq[i] < h.seq[j]
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.at[i], h.at[j] = h.at[j], h.at[i]
+	h.seq[i], h.seq[j] = h.seq[j], h.seq[i]
+	h.ev[i], h.ev[j] = h.ev[j], h.ev[i]
 }
 
 func (h *eventHeap) push(e *event) {
-	q := append(*h, e)
-	i := len(q) - 1
+	h.at = append(h.at, e.at)
+	h.seq = append(h.seq, e.seq)
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		if !h.less(i, parent) {
 			break
 		}
-		q[i], q[parent] = q[parent], q[i]
+		h.swap(i, parent)
 		i = parent
 	}
-	*h = q
 }
 
 func (h *eventHeap) pop() *event {
-	q := *h
-	n := len(q) - 1
-	top := q[0]
-	q[0] = q[n]
-	q[n] = nil
-	q = q[:n]
-	*h = q
+	n := len(h.ev) - 1
+	top := h.ev[0]
+	h.swap(0, n)
+	h.ev[n] = nil
+	h.at, h.seq, h.ev = h.at[:n], h.seq[:n], h.ev[:n]
 	i := 0
 	for {
 		small := i
-		if l := 2*i + 1; l < n && q.less(l, small) {
+		if l := 2*i + 1; l < n && h.less(l, small) {
 			small = l
 		}
-		if r := 2*i + 2; r < n && q.less(r, small) {
+		if r := 2*i + 2; r < n && h.less(r, small) {
 			small = r
 		}
 		if small == i {
 			break
 		}
-		q[i], q[small] = q[small], q[i]
+		h.swap(i, small)
 		i = small
 	}
 	return top
