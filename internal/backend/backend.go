@@ -67,6 +67,13 @@ type Unit struct {
 	// for dispatch estimates.
 	Prefix *profiler.Profile
 	Suffix *profiler.Profile
+	// Slice, when positive, pins the unit to a fractional-SM compute
+	// partition of that fraction instead of the shared round-robin round:
+	// the unit batches independently and runs concurrently with the other
+	// units. Profile should already be scaled for the slice
+	// (profiler.SliceProfile); the device adds co-residency interference
+	// dynamically.
+	Slice float64
 }
 
 // CompletionFunc observes every finished or lost request with its outcome.
@@ -90,6 +97,10 @@ type Backend struct {
 	// batches/items track executed batch statistics.
 	batches uint64
 	items   uint64
+
+	// partSeq names compute partitions uniquely across reconfigurations, so
+	// a new slice for a unit never collides with its draining predecessor.
+	partSeq uint64
 
 	// failed marks a crashed node: it serves nothing, rejects enqueues,
 	// and stops heartbeating until Restart.
@@ -117,7 +128,10 @@ type unitState struct {
 	queue    Queue
 	deferred Queue // low-priority overflow when DeferDropped is on
 	ready    bool
-	running  bool // Parallel discipline: a batch is in flight
+	running  bool // Parallel discipline or spatial slice: a batch is in flight
+	// part is the compute partition a spatial unit (Slice > 0) executes
+	// on; nil for temporal units.
+	part *gpusim.Partition
 	// est is the unit's batch-latency estimator, allocated once so the
 	// dispatch loop does not rebuild a closure per Pick call.
 	est func(int) time.Duration
@@ -237,13 +251,25 @@ func (b *Backend) Configure(units []Unit) error {
 		for _, r := range u.deferred.PopN(u.deferred.Len()) {
 			b.complete(r, DropReconfig)
 		}
+		b.releaseSlice(u)
 		b.dev.Unload(u.ID)
 		delete(b.byID, u.ID)
 	}
 	b.units = kept
 	for _, nu := range units {
 		if existing, ok := b.byID[nu.ID]; ok {
+			// A changed slice fraction swaps partitions: the old one drains
+			// out (in-flight batches complete on it) while new batches run
+			// on the replacement.
+			if existing.part != nil && existing.Slice != nu.Slice {
+				b.releaseSlice(existing)
+			}
 			existing.Unit = nu
+			if nu.Slice > 0 && existing.part == nil {
+				if err := b.attachSlice(existing); err != nil {
+					return err
+				}
+			}
 			continue
 		}
 		us := &unitState{Unit: nu}
@@ -259,6 +285,11 @@ func (b *Backend) Configure(units []Unit) error {
 		memo := nu.Profile.MemoBatches()
 		us.queue.Reserve(2 * memo)
 		us.queue.PrimeBatches(2, memo)
+		if nu.Slice > 0 {
+			if err := b.attachSlice(us); err != nil {
+				return err
+			}
+		}
 		bytes := nu.Profile.MemBase + int64(nu.TargetBatch)*nu.Profile.MemPerItem
 		if err := b.dev.Load(nu.ID, bytes, func() {
 			us.ready = true
@@ -271,6 +302,53 @@ func (b *Backend) Configure(units []Unit) error {
 	}
 	b.rrIdx = 0
 	return nil
+}
+
+// attachSlice carves the unit's compute partition out of the device.
+func (b *Backend) attachSlice(u *unitState) error {
+	b.partSeq++
+	part, err := b.dev.Partition(fmt.Sprintf("%s#%d", u.ID, b.partSeq), u.Slice)
+	if err != nil {
+		return fmt.Errorf("backend %s: unit %s: %w", b.ID, u.ID, err)
+	}
+	u.part = part
+	return nil
+}
+
+// releaseSlice hands the unit's partition back to the device; it merges in
+// once any in-flight batch drains.
+func (b *Backend) releaseSlice(u *unitState) {
+	if u.part != nil {
+		u.part.Release()
+		u.part = nil
+	}
+}
+
+// SliceStat is the live state of one spatial unit's compute slice, for
+// telemetry's per-slice occupancy gauges.
+type SliceStat struct {
+	UnitID string
+	Frac   float64
+	Busy   time.Duration // accumulated slice busy time, in-flight included
+	Queued int
+}
+
+// SliceStats reports every spatial unit's slice in unit order; empty when
+// the backend hosts no spatial units.
+func (b *Backend) SliceStats() []SliceStat {
+	var out []SliceStat
+	for _, u := range b.units {
+		if u.part == nil {
+			continue
+		}
+		out = append(out, SliceStat{
+			UnitID: u.ID,
+			Frac:   u.part.Frac,
+			Busy:   u.part.BusyTime(),
+			Queued: u.queue.Len(),
+		})
+	}
+	return out
 }
 
 // Enqueue adds a request to a unit's queue. It fails with ErrBackendDown
@@ -320,6 +398,7 @@ func (b *Backend) Fail() {
 		for _, r := range u.deferred.PopN(u.deferred.Len()) {
 			b.complete(r, DropFailure)
 		}
+		b.releaseSlice(u)
 		b.dev.Unload(u.ID)
 	}
 	b.units = nil
@@ -353,6 +432,7 @@ func (b *Backend) Reset() {
 		for _, r := range u.deferred.PopN(u.deferred.Len()) {
 			b.complete(r, DropReconfig)
 		}
+		b.releaseSlice(u)
 		b.dev.Unload(u.ID)
 	}
 	b.units = nil
@@ -433,8 +513,14 @@ func (b *Backend) pipelineWarm() bool {
 	return b.lastGPUEnd > 0 && b.clock.Now()-b.lastGPUEnd <= 5*time.Millisecond
 }
 
-// wake nudges the execution engine after an enqueue or model load.
+// wake nudges the execution engine after an enqueue or model load. Spatial
+// units always run their own loop: a pinned slice batches independently of
+// the round-robin round regardless of discipline.
 func (b *Backend) wake(u *unitState) {
+	if u.part != nil {
+		b.stepUnit(u)
+		return
+	}
 	switch b.cfg.Discipline {
 	case RoundRobin:
 		if !b.rrRunning {
@@ -478,7 +564,7 @@ func (b *Backend) stepRR() {
 	for scanned := 0; scanned < len(b.units); scanned++ {
 		u := b.units[b.rrIdx]
 		b.rrIdx = (b.rrIdx + 1) % len(b.units)
-		if !u.ready || u.queue.Len() == 0 {
+		if u.part != nil || !u.ready || u.queue.Len() == 0 {
 			continue
 		}
 		target := b.dynamicTarget(u)
@@ -499,7 +585,7 @@ func (b *Backend) stepRR() {
 		for scanned := 0; scanned < len(b.units); scanned++ {
 			u := b.units[b.rrIdx]
 			b.rrIdx = (b.rrIdx + 1) % len(b.units)
-			if !u.ready || u.deferred.Len() == 0 {
+			if u.part != nil || !u.ready || u.deferred.Len() == 0 {
 				continue
 			}
 			n := u.TargetBatch
@@ -601,6 +687,9 @@ type batchRun struct {
 	gpu     time.Duration
 	post    time.Duration
 	overlap bool
+	// part routes the GPU submission to a compute partition (spatial
+	// units); nil submits to the whole device.
+	part *gpusim.Partition
 
 	preFn  func() // bound submitGPU
 	gpuFn  func() // bound gpuDone
@@ -620,7 +709,13 @@ func (b *Backend) newRun() *batchRun {
 	return r
 }
 
-func (r *batchRun) submitGPU() { r.b.dev.Submit(r.gpu, r.gpuFn) }
+func (r *batchRun) submitGPU() {
+	if r.part != nil {
+		r.part.Submit(r.gpu, r.gpuFn)
+		return
+	}
+	r.b.dev.Submit(r.gpu, r.gpuFn)
+}
 
 func (r *batchRun) gpuDone() {
 	b := r.b
@@ -649,7 +744,7 @@ func (r *batchRun) afterPost() {
 	overlap, inc, done := r.overlap, r.inc, r.done
 	// Release the run before resuming the loop: done may start the next
 	// batch, which is free to reuse this object.
-	r.u, r.batch, r.done = nil, nil, nil
+	r.u, r.batch, r.done, r.part = nil, nil, nil, nil
 	b.runPool = append(b.runPool, r)
 	if !overlap && b.inc == inc {
 		done()
@@ -672,6 +767,7 @@ func (b *Backend) execute(u *unitState, batch []Request, done func()) {
 	// requests complete as failures and the old execution chain halts
 	// rather than resuming on the restarted node.
 	r.inc = b.inc
+	r.part = u.part
 	r.gpu = b.gpuTime(u, batch)
 	if b.cfg.OnBatch != nil {
 		b.cfg.OnBatch(b.ID, u.ID, batch, r.inc, r.gpu)

@@ -166,6 +166,14 @@ type Config struct {
 	// publish to this many per-session changes per push (requires
 	// DeltaRouting); 0 disables the cap.
 	RecoveryMaxRouteChanges int
+	// Placement selects the packer's multiplexing axes: temporal duty
+	// cycles only (the zero value — every pre-existing experiment is
+	// unchanged), spatial compute slices, or the hybrid policy that picks
+	// the cheaper of the two per session.
+	Placement scheduler.Placement
+	// SliceGranularity is the number of equal compute-slice steps a GPU can
+	// be carved into for spatial placement (default 8; requires Placement).
+	SliceGranularity int
 }
 
 // degraded reports whether any degraded-mode survival knob is set; the
@@ -532,10 +540,14 @@ func (d *Deployment) controlConfig() globalsched.Config {
 		spec = profiler.Specs()[profiler.GTX1080Ti]
 	}
 	cfg := globalsched.Config{
-		Epoch:          d.cfg.Epoch,
-		Incremental:    true,
-		OnEpoch:        d.cfg.OnEpoch,
-		Sched:          scheduler.Config{GPUMemBytes: spec.MemBytes},
+		Epoch:       d.cfg.Epoch,
+		Incremental: true,
+		OnEpoch:     d.cfg.OnEpoch,
+		Sched: scheduler.Config{
+			GPUMemBytes:      spec.MemBytes,
+			Placement:        d.cfg.Placement,
+			SliceGranularity: d.cfg.SliceGranularity,
+		},
 		Overlap:        beCfg.Overlap,
 		CPUWorkers:     beCfg.CPUWorkers,
 		SpreadReplicas: d.cfg.FixedCluster,

@@ -29,18 +29,28 @@ type telemetrySampler struct {
 	// execWins caches per-backend execute-latency windows so the OnBatch
 	// hook does not rebuild canonical keys per batch.
 	execWins map[string]*telemetry.Window
+	// prevSliceBusy/sliceSeen mirror prevBusy/seen for compute slices:
+	// windowed per-slice occupancy, and stable key sets after a slice is
+	// reconfigured away. Only populated under spatial placement.
+	prevSliceBusy map[sliceKey]time.Duration
+	sliceSeen     map[sliceKey]bool
 	// lastAt is the previous sample's time, for irregular final samples.
 	lastAt time.Duration
 }
 
+// sliceKey identifies one spatial unit's slice gauge set.
+type sliceKey struct{ backend, unit string }
+
 func newTelemetrySampler(d *Deployment) *telemetrySampler {
 	return &telemetrySampler{
-		d:           d,
-		prevBusy:    make(map[string]time.Duration),
-		prevBatches: make(map[string]uint64),
-		prevItems:   make(map[string]uint64),
-		seen:        make(map[string]bool),
-		execWins:    make(map[string]*telemetry.Window),
+		d:             d,
+		prevBusy:      make(map[string]time.Duration),
+		prevBatches:   make(map[string]uint64),
+		prevItems:     make(map[string]uint64),
+		seen:          make(map[string]bool),
+		execWins:      make(map[string]*telemetry.Window),
+		prevSliceBusy: make(map[sliceKey]time.Duration),
+		sliceSeen:     make(map[sliceKey]bool),
 	}
 }
 
@@ -113,6 +123,7 @@ func (ts *telemetrySampler) sample() {
 	// Per-backend data-plane state. Live backends export real values;
 	// backends that left the pool export zeros, keeping key sets stable.
 	live := make(map[string]bool)
+	sliceLive := make(map[sliceKey]bool)
 	for _, beID := range d.BackendIDs() {
 		live[beID] = true
 		ts.seen[beID] = true
@@ -144,6 +155,29 @@ func (ts *telemetrySampler) sample() {
 		}
 		ts.prevBatches[beID], ts.prevItems[beID] = batches, items
 		reg.Gauge("backend_batch_size", "backend", beID).Set(avg)
+		// Per-slice occupancy, only under spatial placement: a temporal
+		// deployment keeps its exact pre-existing metric key set.
+		if d.cfg.Placement != 0 {
+			for _, st := range be.SliceStats() {
+				k := sliceKey{beID, st.UnitID}
+				sliceLive[k] = true
+				ts.sliceSeen[k] = true
+				occ := 0.0
+				if elapsed > 0 {
+					occ = float64(st.Busy-ts.prevSliceBusy[k]) / float64(elapsed)
+					if occ < 0 {
+						occ = 0
+					}
+					if occ > 1 {
+						occ = 1
+					}
+				}
+				ts.prevSliceBusy[k] = st.Busy
+				reg.Gauge("backend_slice_frac", "backend", beID, "unit", st.UnitID).Set(st.Frac)
+				reg.Gauge("backend_slice_occupancy", "backend", beID, "unit", st.UnitID).Set(occ)
+				reg.Gauge("backend_slice_queue_depth", "backend", beID, "unit", st.UnitID).Set(float64(st.Queued))
+			}
+		}
 	}
 	gone := make([]string, 0, len(ts.seen))
 	for beID := range ts.seen {
@@ -160,6 +194,26 @@ func (ts *telemetrySampler) sample() {
 		delete(ts.prevBusy, beID)
 		delete(ts.prevBatches, beID)
 		delete(ts.prevItems, beID)
+	}
+	if d.cfg.Placement != 0 {
+		goneSlices := make([]sliceKey, 0, len(ts.sliceSeen))
+		for k := range ts.sliceSeen {
+			if !sliceLive[k] {
+				goneSlices = append(goneSlices, k)
+			}
+		}
+		sort.Slice(goneSlices, func(i, j int) bool {
+			if goneSlices[i].backend != goneSlices[j].backend {
+				return goneSlices[i].backend < goneSlices[j].backend
+			}
+			return goneSlices[i].unit < goneSlices[j].unit
+		})
+		for _, k := range goneSlices {
+			reg.Gauge("backend_slice_frac", "backend", k.backend, "unit", k.unit).Set(0)
+			reg.Gauge("backend_slice_occupancy", "backend", k.backend, "unit", k.unit).Set(0)
+			reg.Gauge("backend_slice_queue_depth", "backend", k.backend, "unit", k.unit).Set(0)
+			delete(ts.prevSliceBusy, k)
+		}
 	}
 
 	// Control plane.

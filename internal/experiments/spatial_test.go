@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"nexus/internal/runner"
+)
+
+// TestSpatialDeterminism pins the spatial sweep's determinism contract:
+// byte-identical tables and identical event counts at any worker count.
+// The partition-execution path adds new event types to the simulation, so
+// it gets its own worker-count check in the CI determinism matrix.
+func TestSpatialDeterminism(t *testing.T) {
+	run := func(workers int) (string, uint64) {
+		prev := runner.SetDefaultWorkers(workers)
+		defer runner.SetDefaultWorkers(prev)
+		e, err := Get("spatial")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc := NewRunContext(true)
+		tab, err := e.Run(rc)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tab.String(), rc.Events()
+	}
+	seqTable, seqEvents := run(1)
+	parTable, parEvents := run(8)
+	if seqTable != parTable {
+		t.Errorf("parallel table differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s",
+			seqTable, parTable)
+	}
+	if seqEvents != parEvents {
+		t.Errorf("parallel ran %d events, sequential %d", parEvents, seqEvents)
+	}
+	// The sweep's reason to exist: the spatial and hybrid rows must beat
+	// the temporal row's per-GPU goodput on this workload.
+	var tab *Table
+	{
+		e, _ := Get("spatial")
+		rc := NewRunContext(true)
+		var err error
+		tab, err = e.Run(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	perGPU := func(row string) string { return tab.Cell(row, "goodput/GPU") }
+	if perGPU("spatial") == "" || perGPU("temporal") == "" {
+		t.Fatalf("missing rows in table:\n%s", tab.String())
+	}
+	if !lessNumeric(perGPU("temporal"), perGPU("spatial")) {
+		t.Errorf("spatial goodput/GPU %s does not beat temporal %s", perGPU("spatial"), perGPU("temporal"))
+	}
+	if !lessNumeric(perGPU("temporal"), perGPU("hybrid")) {
+		t.Errorf("hybrid goodput/GPU %s does not beat temporal %s", perGPU("hybrid"), perGPU("temporal"))
+	}
+	if n := tab.Cell("spatial", "spatial nodes"); n == "0" || n == "" {
+		t.Errorf("spatial variant placed no spatial nodes:\n%s", tab.String())
+	}
+	if n := tab.Cell("temporal", "spatial nodes"); n != "0" {
+		t.Errorf("temporal variant placed spatial nodes:\n%s", tab.String())
+	}
+}
+
+// lessNumeric compares two table cells as numbers (the cells are %.0f
+// renderings, so string compare would mis-order across digit counts).
+func lessNumeric(a, b string) bool {
+	fa, errA := strconv.ParseFloat(strings.TrimSpace(a), 64)
+	fb, errB := strconv.ParseFloat(strings.TrimSpace(b), 64)
+	if errA != nil || errB != nil {
+		return false
+	}
+	return fa < fb
+}

@@ -541,6 +541,7 @@ func (s *Scheduler) auditEpoch(plan *scheduler.Plan) {
 			Backends:  append([]string(nil), s.nodeBackend[g.ID]...),
 			DutyMS:    trace.MS(g.Duty),
 			Saturated: g.Saturated,
+			Spatial:   g.Spatial,
 			Shard:     shardTag(g.ID),
 		}
 		if occ, err := g.Occupancy(profiles); err == nil {
@@ -549,6 +550,7 @@ func (s *Scheduler) auditEpoch(plan *scheduler.Plan) {
 		for _, a := range g.Allocs {
 			rec.Units = append(rec.Units, trace.PlacedUnit{
 				Unit: a.SessionID, Session: a.SessionID, Batch: a.Batch, Rate: a.Rate,
+				Slice:   a.Slice,
 				Members: append([]string(nil), s.groups[a.SessionID]...),
 			})
 		}
@@ -594,6 +596,9 @@ func (s *Scheduler) Explain() telemetry.HealthReport {
 				a.Rate, a.Batch, g.ID, telemetry.MS(g.Duty), 100*occ, 100*(1-occ), replicas)
 			if occErr != nil {
 				reason = fmt.Sprintf("%.1f r/s at batch %d on %s (%d replica(s))", a.Rate, a.Batch, g.ID, replicas)
+			}
+			if a.Slice > 0 {
+				reason += fmt.Sprintf(", pinned to a %.0f%% compute slice", 100*a.Slice)
 			}
 			if members := s.groups[a.SessionID]; len(members) > 0 {
 				reason += fmt.Sprintf(", prefix group of %d", len(members))
@@ -1066,7 +1071,8 @@ func (s *Scheduler) planSharded(sessions []scheduler.Session, profiles map[strin
 	scaled := sessions
 	for iter := 0; ; iter++ {
 		res, err := s.shardPlanner.Plan(scaled, profiles, s.cfg.Sched, scheduler.ShardOpts{
-			Incremental: s.cfg.Incremental,
+			// As in packOnce: incremental reuse is temporal-only.
+			Incremental: s.cfg.Incremental && s.cfg.Sched.Placement == scheduler.PlaceTemporal,
 			Hysteresis:  s.cfg.PlanHysteresis,
 			Force:       iter > 0,
 			WallClock:   s.cfg.PlanWallClock,
@@ -1119,7 +1125,9 @@ func (s *Scheduler) RoutePushStats() (delta, full, sessions uint64) {
 }
 
 func (s *Scheduler) packOnce(sessions []scheduler.Session, profiles map[string]*profiler.Profile) (*scheduler.Plan, error) {
-	if s.cfg.Incremental && s.prevPlan != nil {
+	// Incremental planning reuses prior shared nodes and does not understand
+	// slice-pinned placements; spatial and hybrid configs always full-pack.
+	if s.cfg.Incremental && s.prevPlan != nil && s.cfg.Sched.Placement == scheduler.PlaceTemporal {
 		plan, stats, err := scheduler.Incremental(s.prevPlan, sessions, profiles, s.cfg.Sched)
 		if err != nil {
 			return nil, err
@@ -1144,6 +1152,13 @@ func (s *Scheduler) unitsFor(g *scheduler.GPUPlan) ([]backend.Unit, error) {
 			Profile:     p,
 			TargetBatch: a.Batch,
 			Members:     s.groups[a.SessionID],
+		}
+		if a.Slice > 0 {
+			// Spatial placement: the unit runs pinned to a compute slice.
+			// Scale the profile for the slice alone (co-residency slowdown
+			// is charged dynamically by the device as co-residents run).
+			unit.Slice = a.Slice
+			unit.Profile = p.SliceProfile(a.Slice, 0)
 		}
 		if parts, ok := s.groupParts[a.SessionID]; ok {
 			unit.Prefix, unit.Suffix = parts[0], parts[1]

@@ -76,6 +76,15 @@ type Device struct {
 	// finBuf is scratch for collecting finished shared jobs.
 	finBuf []*job
 
+	// Spatial partition state (see partition.go). parts holds attached
+	// partitions in creation order for deterministic iteration.
+	parts       []*Partition
+	partRunning int           // partitions with a job executing right now
+	partAt      time.Duration // last time partition progress was advanced
+	partNext    simclock.Timer
+	partDone    func()
+	partFin     []*Partition // scratch for collecting finished partitions
+
 	// Utilization accounting.
 	busy      time.Duration
 	busySince time.Duration
@@ -220,7 +229,7 @@ func (d *Device) Submit(work time.Duration, done func()) {
 		d.maybeStart()
 	case Shared:
 		d.advanceShared()
-		if len(d.shared) == 0 {
+		if !d.isBusy() {
 			d.markBusy()
 		}
 		d.shared[j] = struct{}{}
@@ -228,11 +237,18 @@ func (d *Device) Submit(work time.Duration, done func()) {
 	}
 }
 
-// QueueLen returns the number of submitted-but-unfinished work items.
+// QueueLen returns the number of submitted-but-unfinished work items,
+// including work queued on compute partitions.
 func (d *Device) QueueLen() int {
 	n := len(d.queue) - d.qhead + len(d.shared)
 	if d.running != nil {
 		n++
+	}
+	for _, p := range d.parts {
+		n += len(p.queue) - p.qhead
+		if p.running != nil {
+			n++
+		}
 	}
 	return n
 }
@@ -257,7 +273,7 @@ func (d *Device) Utilization(t0 time.Duration) float64 {
 }
 
 func (d *Device) isBusy() bool {
-	return d.running != nil || len(d.shared) > 0
+	return d.running != nil || len(d.shared) > 0 || d.partRunning > 0
 }
 
 func (d *Device) markBusy() {
@@ -292,8 +308,10 @@ func (d *Device) maybeStart() {
 		d.queue = d.queue[:n]
 		d.qhead = 0
 	}
+	if !d.isBusy() {
+		d.markBusy()
+	}
 	d.running = j
-	d.markBusy()
 	d.clock.After(j.work, d.execDone)
 }
 
@@ -302,7 +320,9 @@ func (d *Device) maybeStart() {
 func (d *Device) onExclusiveDone() {
 	j := d.running
 	d.running = nil
-	d.markIdle()
+	if !d.isBusy() {
+		d.markIdle()
+	}
 	done := j.done
 	d.recycleJob(j)
 	if done != nil {
@@ -372,7 +392,7 @@ func (d *Device) onSharedDone() {
 	for _, j := range finished {
 		delete(d.shared, j)
 	}
-	if len(d.shared) == 0 {
+	if !d.isBusy() {
 		d.markIdle()
 	}
 	// Deterministic completion order: by submission sequence.

@@ -112,16 +112,33 @@ func buildProfile(m *model.Model, cal calibration, gpu GPUType, scale float64) (
 	if memPerItem < 1<<20 {
 		memPerItem = 1 << 20
 	}
+	// SM saturation: the marginal item runs m.FLOPs() of compute in α
+	// seconds; the ratio of that achieved rate to the device's peak is how
+	// much of the GPU the model can actually keep busy. Small models (LeNet,
+	// VGG7) land near the floor — the spatial-sharing sweet spot — while
+	// heavy CNNs push toward 1 and gain nothing from a fractional slice.
+	sat := 1.0
+	if spec, ok := Specs()[gpu]; ok && spec.PeakTFLOPS > 0 && alpha > 0 {
+		achieved := float64(m.FLOPs()) / alpha.Seconds()
+		sat = achieved / (spec.PeakTFLOPS * 1e12)
+		if sat < 0.05 {
+			sat = 0.05
+		}
+		if sat > 1 {
+			sat = 1
+		}
+	}
 	p := &Profile{
-		ModelID:     m.ID,
-		GPU:         gpu,
-		Alpha:       alpha,
-		Beta:        beta,
-		MaxBatch:    cal.maxBatch,
-		PreprocCPU:  cal.preproc,
-		PostprocCPU: cal.postproc,
-		MemBase:     m.ParamBytes() + workspaceBytes,
-		MemPerItem:  memPerItem,
+		ModelID:      m.ID,
+		GPU:          gpu,
+		Alpha:        alpha,
+		Beta:         beta,
+		MaxBatch:     cal.maxBatch,
+		PreprocCPU:   cal.preproc,
+		PostprocCPU:  cal.postproc,
+		MemBase:      m.ParamBytes() + workspaceBytes,
+		MemPerItem:   memPerItem,
+		SMSaturation: sat,
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("calibrating %s on %s: %w", m.ID, gpu, err)

@@ -77,6 +77,15 @@ type Profile struct {
 	MemBase    int64
 	MemPerItem int64
 
+	// SMSaturation is the fraction of the GPU's compute the model actually
+	// keeps busy at its operating batch sizes (0..1]. Small models launch
+	// kernels that cannot fill every SM, so a fractional compute slice
+	// barely slows them — the regime where spatial sharing beats temporal
+	// duty cycles (D-STACK / ParvaGPU). Zero means "unknown": treated as 1
+	// (the model saturates the GPU), which makes spatial planning maximally
+	// conservative and keeps zero-value profiles behaving exactly as before.
+	SMSaturation float64
+
 	// points, when non-empty, overrides the linear model for b <= len:
 	// points[b-1] is the measured latency at batch size b.
 	points []time.Duration
@@ -101,7 +110,17 @@ func (p *Profile) memoize() {
 	}
 	lat := make([]time.Duration, p.MaxBatch)
 	for b := 1; b <= p.MaxBatch; b++ {
-		lat[b-1] = p.rawBatchLatency(b)
+		l := p.rawBatchLatency(b)
+		// Isotonic smoothing: the binary search in MaxBatchWithin assumes
+		// ℓ(b) is monotone non-decreasing, but a noisy measured point table
+		// can dip below an earlier entry and make the search land on a
+		// batch size that misses the SLO. Running max is the identity on
+		// monotone tables (goldens unaffected) and the tightest monotone
+		// upper envelope otherwise.
+		if b > 1 && l < lat[b-2] {
+			l = lat[b-2]
+		}
+		lat[b-1] = l
 	}
 	p.lat = lat
 }
@@ -125,6 +144,15 @@ func (p *Profile) Validate() error {
 	}
 	if p.Beta < 0 {
 		return fmt.Errorf("profile %s/%s: negative beta", p.ModelID, p.GPU)
+	}
+	// The memo table is the isotonic (running-max) envelope of the raw
+	// model, so the loop below can no longer observe a dip; a measured
+	// table that decreases is still a profiling error worth rejecting
+	// loudly here rather than silently flattening.
+	for i := 1; i < len(p.points); i++ {
+		if p.points[i] < p.points[i-1] {
+			return fmt.Errorf("profile %s/%s: latency decreases at b=%d", p.ModelID, p.GPU, i+1)
+		}
 	}
 	p.memoize()
 	prev := time.Duration(0)
@@ -228,6 +256,71 @@ func (p *Profile) SaturateBatch(slo time.Duration) (int, float64) {
 		return 0, 0
 	}
 	return b, p.Throughput(b)
+}
+
+// Spatial sharing model (ROADMAP item 3). A compute slice holding fraction
+// f of the device's SMs runs a model slower by SpatialSlowdown(f, sat): a
+// model that only saturates fraction sat of the GPU loses nothing until its
+// slice shrinks below sat, then slows proportionally (the D-STACK knee).
+// Co-resident partitions additionally contend for memory bandwidth and L2;
+// each concurrently-executing co-resident inflates latency by
+// SpatialInterference.
+
+// SpatialInterference is the fractional latency inflation per active
+// co-resident partition sharing a device.
+const SpatialInterference = 0.05
+
+// SpatialSlowdown returns the latency multiplier for running on a compute
+// slice of fraction frac a model with SM saturation sat. sat outside (0, 1]
+// means "unknown / saturates the whole GPU". frac <= 0 returns +Inf.
+func SpatialSlowdown(frac, sat float64) float64 {
+	if sat <= 0 || sat > 1 {
+		sat = 1
+	}
+	if frac >= 1 {
+		return 1
+	}
+	if frac <= 0 {
+		return math.Inf(1)
+	}
+	if m := sat / frac; m > 1 {
+		return m
+	}
+	return 1
+}
+
+// InterferenceFactor returns the latency multiplier from coResidents other
+// active partitions executing concurrently on the same device.
+func InterferenceFactor(coResidents int) float64 {
+	if coResidents <= 0 {
+		return 1
+	}
+	return 1 + SpatialInterference*float64(coResidents)
+}
+
+// SliceProfile returns a profile with every GPU latency scaled for execution
+// on a compute slice of fraction frac alongside coResidents other active
+// partitions. A full slice with no co-residents returns p itself (profiles
+// are read-only once validated, so sharing is safe).
+func (p *Profile) SliceProfile(frac float64, coResidents int) *Profile {
+	m := SpatialSlowdown(frac, p.SMSaturation) * InterferenceFactor(coResidents)
+	if m <= 1 {
+		return p
+	}
+	if math.IsInf(m, 1) {
+		panic(fmt.Sprintf("profile %s: SliceProfile(frac=%v)", p.ModelID, frac))
+	}
+	q := *p
+	q.Alpha = time.Duration(float64(p.Alpha) * m)
+	q.Beta = time.Duration(float64(p.Beta) * m)
+	if len(p.points) > 0 {
+		q.points = make([]time.Duration, len(p.points))
+		for i, v := range p.points {
+			q.points[i] = time.Duration(float64(v) * m)
+		}
+	}
+	q.memoize()
+	return &q
 }
 
 // WithPoints returns a copy of p that uses the given measured latency table

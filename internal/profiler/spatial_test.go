@@ -1,0 +1,136 @@
+package profiler
+
+import (
+	"testing"
+	"time"
+
+	"nexus/internal/model"
+)
+
+// A noisy measured point table can dip: ℓ(3) < ℓ(2) here. Without isotonic
+// smoothing the MaxBatchWithin binary search probes ℓ(3)=12ms <= 15ms and
+// returns 3 — a batch whose true predecessor ℓ(2)=30ms already misses the
+// budget and whose envelope therefore cannot be trusted. The memo table's
+// running-max envelope makes the search honest: only b=1 fits 15ms.
+func TestMaxBatchWithinNonMonotonePoints(t *testing.T) {
+	base := &Profile{ModelID: "noisy", GPU: GTX1080Ti, Alpha: time.Millisecond, MaxBatch: 4}
+	p := base.WithPoints([]time.Duration{
+		10 * time.Millisecond,
+		30 * time.Millisecond,
+		12 * time.Millisecond, // dips below ℓ(2)
+		40 * time.Millisecond,
+	})
+	if got := p.MaxBatchWithin(15 * time.Millisecond); got != 1 {
+		t.Fatalf("MaxBatchWithin(15ms) = %d, want 1 (isotonic envelope)", got)
+	}
+	// The memoized envelope must be monotone non-decreasing.
+	prev := time.Duration(0)
+	for b := 1; b <= p.MaxBatch; b++ {
+		l := p.BatchLatency(b)
+		if l < prev {
+			t.Fatalf("BatchLatency(%d) = %v < BatchLatency(%d) = %v", b, l, b-1, prev)
+		}
+		prev = l
+	}
+	// ℓ(3) is lifted to the envelope of ℓ(2); monotone entries unchanged.
+	if got := p.BatchLatency(3); got != 30*time.Millisecond {
+		t.Fatalf("BatchLatency(3) = %v, want 30ms (lifted)", got)
+	}
+	if got := p.BatchLatency(4); got != 40*time.Millisecond {
+		t.Fatalf("BatchLatency(4) = %v, want 40ms (unchanged)", got)
+	}
+}
+
+// Smoothing must be the identity on monotone tables so every existing
+// profile — and therefore every experiment golden — is unaffected.
+func TestIsotonicIdentityOnMonotone(t *testing.T) {
+	pts := []time.Duration{10 * time.Millisecond, 18 * time.Millisecond, 26 * time.Millisecond}
+	base := &Profile{ModelID: "mono", GPU: GTX1080Ti, Alpha: time.Millisecond, MaxBatch: 3}
+	p := base.WithPoints(pts)
+	for b := 1; b <= 3; b++ {
+		if got := p.BatchLatency(b); got != pts[b-1] {
+			t.Fatalf("BatchLatency(%d) = %v, want %v", b, got, pts[b-1])
+		}
+	}
+}
+
+func TestSpatialSlowdown(t *testing.T) {
+	cases := []struct {
+		frac, sat, want float64
+	}{
+		{1.0, 0.5, 1.0},  // full slice: never slower
+		{0.5, 0.5, 1.0},  // slice matches saturation: knee point
+		{0.25, 0.5, 2.0}, // half the needed SMs: 2x
+		{0.5, 0, 2.0},    // sat 0 = unknown = saturates whole GPU
+		{0.125, 0.05, 1}, // tiny model fits tiny slice
+		{1.5, 0.9, 1.0},  // frac clamped at 1
+		{0.5, 1.5, 2.0},  // sat clamped at 1
+	}
+	for _, c := range cases {
+		if got := SpatialSlowdown(c.frac, c.sat); got != c.want {
+			t.Errorf("SpatialSlowdown(%v, %v) = %v, want %v", c.frac, c.sat, got, c.want)
+		}
+	}
+	if got := SpatialSlowdown(0, 0.5); !isInf(got) {
+		t.Errorf("SpatialSlowdown(0, .) = %v, want +Inf", got)
+	}
+}
+
+func isInf(f float64) bool { return f > 1e300 }
+
+func TestSliceProfileScaling(t *testing.T) {
+	p := &Profile{
+		ModelID:      "m",
+		GPU:          GTX1080Ti,
+		Alpha:        time.Millisecond,
+		Beta:         4 * time.Millisecond,
+		MaxBatch:     8,
+		SMSaturation: 0.5,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Slice >= saturation, no co-residents: the same profile comes back.
+	if q := p.SliceProfile(0.5, 0); q != p {
+		t.Fatal("SliceProfile at the knee should return the receiver")
+	}
+	// Quarter slice: 2x slowdown on every latency.
+	q := p.SliceProfile(0.25, 0)
+	if q.Alpha != 2*time.Millisecond || q.Beta != 8*time.Millisecond {
+		t.Fatalf("quarter slice: alpha=%v beta=%v, want 2ms/8ms", q.Alpha, q.Beta)
+	}
+	if got, want := q.BatchLatency(4), 2*p.BatchLatency(4); got != want {
+		t.Fatalf("BatchLatency(4) on quarter slice = %v, want %v", got, want)
+	}
+	// Co-residency interference compounds multiplicatively.
+	r := p.SliceProfile(0.25, 2)
+	wantAlpha := time.Duration(float64(p.Alpha) * 2 * (1 + 2*SpatialInterference))
+	if r.Alpha != wantAlpha {
+		t.Fatalf("interfered alpha = %v, want %v", r.Alpha, wantAlpha)
+	}
+	// The receiver is untouched.
+	if p.Alpha != time.Millisecond {
+		t.Fatal("SliceProfile mutated the receiver")
+	}
+}
+
+// Catalog profiles must carry plausible SM saturations: small models near
+// the floor (spatial-sharing candidates), heavy models well above them.
+func TestCatalogSMSaturation(t *testing.T) {
+	db, err := CatalogProfiles(model.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenet := db.MustGet(model.LeNet5, GTX1080Ti)
+	resnet := db.MustGet(model.ResNet50, GTX1080Ti)
+	if lenet.SMSaturation <= 0 || lenet.SMSaturation > 1 {
+		t.Fatalf("LeNet5 saturation %v out of (0,1]", lenet.SMSaturation)
+	}
+	if resnet.SMSaturation <= 0 || resnet.SMSaturation > 1 {
+		t.Fatalf("ResNet50 saturation %v out of (0,1]", resnet.SMSaturation)
+	}
+	if lenet.SMSaturation >= resnet.SMSaturation {
+		t.Fatalf("LeNet5 saturation %v should be below ResNet50's %v",
+			lenet.SMSaturation, resnet.SMSaturation)
+	}
+}

@@ -42,8 +42,14 @@ type MPSC[T any] struct {
 }
 
 // NewMPSC returns a ring holding at least capacity items (rounded up to a
-// power of two, minimum 2).
+// power of two, minimum 2). capacity must be positive: a non-positive
+// capacity panics rather than silently returning a 2-slot ring, since a
+// caller computing capacity from a config value would otherwise ship a
+// pathologically small ring that drops under the first burst.
 func NewMPSC[T any](capacity int) *MPSC[T] {
+	if capacity <= 0 {
+		panic("ring: NewMPSC capacity must be positive")
+	}
 	n := 2
 	for n < capacity {
 		n <<= 1
@@ -103,6 +109,14 @@ func (r *MPSC[T]) Pop() (T, bool) {
 // Empty reports whether no published value is ready at the consumer
 // cursor. Producers use it to re-check for stranded items after releasing
 // the consumer role (the pump-flag handoff race).
+//
+// Single-consumer contract: Empty is only meaningful while the caller can
+// rule out a concurrent Pop — either because it currently holds the
+// consumer role, or (as in the pump-flag handoff) because it just released
+// the role and will re-acquire it before acting on a false return. A "not
+// empty" answer observed concurrently with an active consumer may be stale
+// by the time the caller reacts; it is a hint to contend for the consumer
+// role, never a license to Pop without it.
 func (r *MPSC[T]) Empty() bool {
 	head := r.head.Load()
 	return r.slots[head&r.mask].seq.Load() != head+1

@@ -1,18 +1,35 @@
 package ring
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
 )
 
 func TestCapacityRounding(t *testing.T) {
+	// Rounding edges: 1 hits the minimum, exact powers of two stay put,
+	// everything else rounds up to the next power.
 	for _, tc := range []struct{ ask, want int }{
-		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024},
+		{1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {8, 8}, {16, 16}, {17, 32},
+		{64, 64}, {1000, 1024}, {1024, 1024},
 	} {
 		if got := NewMPSC[int](tc.ask).Cap(); got != tc.want {
 			t.Errorf("NewMPSC(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
 		}
+	}
+}
+
+func TestNonPositiveCapacityPanics(t *testing.T) {
+	for _, capacity := range []int{0, -1, -1024} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMPSC(%d) did not panic", capacity)
+				}
+			}()
+			NewMPSC[int](capacity)
+		}()
 	}
 }
 
@@ -128,5 +145,66 @@ func TestConcurrentProducers(t *testing.T) {
 	n := uint64(producers * perProducer)
 	if want := n * (n - 1) / 2; sum != want {
 		t.Fatalf("sum of popped values = %d, want %d (lost or duplicated items)", sum, want)
+	}
+}
+
+// TestPropertyMPSCNoLossNoDupPerProducerFIFO is the full MPSC correctness
+// property, meaningful under -race: racing N producers against the single
+// consumer, every pushed value arrives exactly once (no loss, no
+// duplication) and values from any one producer arrive in that producer's
+// push order (per-producer FIFO). Cross-producer interleaving is
+// unconstrained. Small capacities force constant wrap-around and full-ring
+// retries, the regime where a seq-lap bug would corrupt slots.
+func TestPropertyMPSCNoLossNoDupPerProducerFIFO(t *testing.T) {
+	type item struct{ producer, seq int }
+	for _, capacity := range []int{1, 2, 64} {
+		capacity := capacity
+		t.Run(fmt.Sprintf("cap%d", capacity), func(t *testing.T) {
+			const producers = 6
+			perProducer := 3000
+			if testing.Short() {
+				perProducer = 500
+			}
+			r := NewMPSC[item](capacity)
+			var wg sync.WaitGroup
+			wg.Add(producers)
+			for p := 0; p < producers; p++ {
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < perProducer; i++ {
+						for !r.Push(item{p, i}) {
+							runtime.Gosched()
+						}
+					}
+				}(p)
+			}
+			seen := make([][]int, producers) // per-producer sequence arrivals
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				total := 0
+				for total < producers*perProducer {
+					v, ok := r.Pop()
+					if !ok {
+						runtime.Gosched()
+						continue
+					}
+					seen[v.producer] = append(seen[v.producer], v.seq)
+					total++
+				}
+			}()
+			wg.Wait()
+			<-done
+			for p := 0; p < producers; p++ {
+				if len(seen[p]) != perProducer {
+					t.Fatalf("producer %d: %d of %d items arrived", p, len(seen[p]), perProducer)
+				}
+				for i, s := range seen[p] {
+					if s != i {
+						t.Fatalf("producer %d: arrival %d has seq %d (FIFO violated or item lost/duplicated)", p, i, s)
+					}
+				}
+			}
+		})
 	}
 }

@@ -51,6 +51,11 @@ type Alloc struct {
 	Batch     int     // target batch size on this node
 	Rate      float64 // request rate this node serves for the session
 	Share     float64 // fractional GPU share (batch-oblivious plans only)
+	// Slice is the fractional-SM compute slice the session is pinned to on
+	// a spatial node (0 on temporal nodes). Unlike Share it is a real
+	// partition: the session runs concurrently with its co-residents on
+	// dedicated SMs instead of taking turns in a duty cycle.
+	Slice float64
 }
 
 // GPUPlan is the schedule of one GPU: the sessions it hosts and the duty
@@ -63,11 +68,22 @@ type GPUPlan struct {
 	Duty      time.Duration
 	Allocs    []Alloc
 	Saturated bool // a whole-GPU node created by ScheduleSaturate
+	// Spatial marks a node multiplexed by fractional-SM slices instead of a
+	// duty cycle: Duty is 0 and every alloc carries its Slice fraction.
+	Spatial bool
 }
 
-// Occupancy returns the fraction of the duty cycle consumed by batch
-// executions, the bin-packing "fill" metric of Algorithm 1.
+// Occupancy returns the bin-packing "fill" metric: for temporal nodes the
+// fraction of the duty cycle consumed by batch executions (Algorithm 1),
+// for spatial nodes the fraction of the device's SMs handed out as slices.
 func (g *GPUPlan) Occupancy(profiles map[string]*profiler.Profile) (float64, error) {
+	if g.Spatial {
+		var sum float64
+		for _, a := range g.Allocs {
+			sum += a.Slice
+		}
+		return sum, nil
+	}
 	if g.Duty <= 0 {
 		return 0, fmt.Errorf("scheduler: node has non-positive duty cycle %v", g.Duty)
 	}
@@ -114,6 +130,38 @@ func (p *Plan) SessionRate(id string) float64 {
 	return sum
 }
 
+// Placement selects which multiplexing axes the packer may use for
+// residual (non-saturating) sessions.
+type Placement int
+
+const (
+	// PlaceTemporal packs residuals into shared duty cycles only — the
+	// paper's Algorithm 1 and the zero-value default.
+	PlaceTemporal Placement = iota
+	// PlaceSpatial pins every residual that fits one to a fractional-SM
+	// compute slice; sessions no slice can serve fall back to temporal.
+	PlaceSpatial
+	// PlaceHybrid chooses per session: a slice when it costs less GPU than
+	// the session's duty-cycle occupancy, temporal otherwise.
+	PlaceHybrid
+)
+
+// String names the placement for audit records and experiment tables.
+func (p Placement) String() string {
+	switch p {
+	case PlaceSpatial:
+		return "spatial"
+	case PlaceHybrid:
+		return "hybrid"
+	default:
+		return "temporal"
+	}
+}
+
+// DefaultSliceGranularity is the number of equal compute slices a GPU
+// divides into when Config.SliceGranularity is unset.
+const DefaultSliceGranularity = 8
+
 // Config tunes the packing algorithms.
 type Config struct {
 	// GPUMemBytes caps per-node model memory; 0 disables the check.
@@ -123,6 +171,13 @@ type Config struct {
 	// SLOFactor*ℓ(B) (§4.1 uses 2). Values below 2 are unsafe; above 2 are
 	// conservative. Zero means 2.
 	SLOFactor float64
+	// Placement selects temporal, spatial, or hybrid packing of residual
+	// sessions. The zero value keeps the paper's temporal-only behaviour.
+	Placement Placement
+	// SliceGranularity is the number of equal fractions a GPU's SMs divide
+	// into for spatial placement (MIG-style); 0 means
+	// DefaultSliceGranularity.
+	SliceGranularity int
 }
 
 func (c Config) sloFactor() float64 {
@@ -130,6 +185,13 @@ func (c Config) sloFactor() float64 {
 		return 2
 	}
 	return c.SLOFactor
+}
+
+func (c Config) sliceGranularity() int {
+	if c.SliceGranularity <= 0 {
+		return DefaultSliceGranularity
+	}
+	return c.SliceGranularity
 }
 
 // rateEpsilon absorbs floating-point slack in throughput-coverage checks.
@@ -175,6 +237,28 @@ func Validate(plan *Plan, sessions []Session, profiles map[string]*profiler.Prof
 			p, ok := profiles[a.ModelID]
 			if !ok {
 				return fmt.Errorf("scheduler: no profile for model %s", a.ModelID)
+			}
+			if g.Spatial {
+				// A pinned slice serves its session alone: worst-case wait
+				// is the batch-gather window, clamped by the SLO timeout the
+				// backend flushes on, so the binding constraints are that a
+				// batch executes within the SLO at all (with slack for the
+				// wait) and that the slice's service rate sustains the load
+				// under worst-case co-residency interference.
+				if a.Slice <= 0 || a.Slice > 1+1e-9 {
+					return fmt.Errorf("scheduler: node %d session %s slice %v out of (0,1]", gi, a.SessionID, a.Slice)
+				}
+				q := p.SliceProfile(a.Slice, spatialWorstCo(a.Slice, cfg.sliceGranularity()))
+				lat := q.BatchLatency(a.Batch)
+				if lat >= s.SLO {
+					return fmt.Errorf("scheduler: node %d session %s slice latency %v exceeds SLO %v",
+						gi, a.SessionID, lat, s.SLO)
+				}
+				if q.Throughput(a.Batch)+rateEpsilon < a.Rate {
+					return fmt.Errorf("scheduler: node %d session %s slice serves %.3f r/s < allocated %.3f",
+						gi, a.SessionID, q.Throughput(a.Batch), a.Rate)
+				}
+				continue
 			}
 			var worst time.Duration
 			if g.Saturated {

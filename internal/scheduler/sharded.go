@@ -326,7 +326,9 @@ func (sp *ShardPlanner) rebalance(res *ShardResult, dirty []bool,
 		}
 		for pos := range res.local[k].GPUs {
 			g := &res.local[k].GPUs[pos]
-			if g.Saturated || g.Duty <= 0 || len(g.Allocs) == 0 {
+			// Spatial nodes never participate: a pinned slice has no duty
+			// cycle to merge into another node's round.
+			if g.Saturated || g.Spatial || g.Duty <= 0 || len(g.Allocs) == 0 {
 				continue
 			}
 			if rn := gpuToRes(g, profiles); rn != nil {

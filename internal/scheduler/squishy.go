@@ -11,10 +11,16 @@ import (
 
 // Pack runs squishy bin packing (Algorithm 1): it saturates whole GPUs for
 // large sessions, then best-fit-decreasing merges the residual loads into
-// shared duty cycles. The returned plan always passes Validate for the
-// given sessions, profiles and config.
+// shared duty cycles. When cfg.Placement allows spatial multiplexing, a
+// slice-packing pass between the two pins suitable residuals to
+// fractional-SM partitions instead (ScheduleSpatial). The returned plan
+// always passes Validate for the given sessions, profiles and config.
 func Pack(sessions []Session, profiles map[string]*profiler.Profile, cfg Config) (*Plan, error) {
 	nodes, residue, err := ScheduleSaturate(sessions, profiles, cfg)
+	if err != nil {
+		return nil, err
+	}
+	spatialNodes, residue, err := ScheduleSpatial(residue, profiles, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -22,7 +28,7 @@ func Pack(sessions []Session, profiles map[string]*profiler.Profile, cfg Config)
 	if err != nil {
 		return nil, err
 	}
-	plan := &Plan{GPUs: append(nodes, resNodes...)}
+	plan := &Plan{GPUs: append(append(nodes, spatialNodes...), resNodes...)}
 	for i := range plan.GPUs {
 		plan.GPUs[i].ID = fmt.Sprintf("n%d", i)
 	}

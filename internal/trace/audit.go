@@ -17,6 +17,7 @@ type PlacedUnit struct {
 	Session string   `json:"session"`
 	Batch   int      `json:"batch"`
 	Rate    float64  `json:"rate"`
+	Slice   float64  `json:"slice,omitempty"` // compute-slice fraction (spatial nodes)
 	Members []string `json:"members,omitempty"`
 }
 
@@ -31,6 +32,7 @@ type PlacementRecord struct {
 	DutyMS    float64      `json:"duty_ms"`
 	Occupancy float64      `json:"occupancy"`
 	Saturated bool         `json:"saturated,omitempty"`
+	Spatial   bool         `json:"spatial,omitempty"`
 	Shard     string       `json:"shard,omitempty"`
 	Units     []PlacedUnit `json:"units"`
 }
@@ -236,6 +238,9 @@ func (a *Audit) WriteText(w io.Writer) error {
 			if p.Saturated {
 				sat = " saturated"
 			}
+			if p.Spatial {
+				sat += " spatial"
+			}
 			if p.Shard != "" {
 				sat += " shard=" + p.Shard
 			}
@@ -246,6 +251,9 @@ func (a *Audit) WriteText(w io.Writer) error {
 			for _, u := range p.Units {
 				line := fmt.Sprintf("    %-10s session=%-20s batch=%-3d rate=%.1f",
 					u.Unit, u.Session, u.Batch, u.Rate)
+				if u.Slice > 0 {
+					line += fmt.Sprintf(" slice=%.3f", u.Slice)
+				}
 				if len(u.Members) > 0 {
 					line += fmt.Sprintf(" members=%v", u.Members)
 				}
