@@ -1,0 +1,139 @@
+// nexus-forensics is the tail-latency forensics reader: it ingests the
+// artifacts an instrumented run leaves behind and answers "where did the
+// p99 go, and what did the scheduler change right before". It reads any
+// combination of
+//
+//   - flight-recorder dump bundles (nexus-sim -forensics-out): per-anomaly
+//     time-correlated captures of spans, placements, plan diffs, chaos
+//     edges, and metric samples, each rendered with its own blame breakdown;
+//
+//   - a raw event trace (nexus-sim -trace-out): rendered as the per-session
+//     p99 blame breakdown — admission wait vs. dispatch vs. batch-formation
+//     stall vs. queue vs. GPU service vs. co-residency interference;
+//
+//   - a control-plane audit log (nexus-sim -audit -audit-out): rendered as
+//     the plan-diff history, one structured change log per epoch.
+//
+//     nexus-sim -app game -rate 300 -forensics -forensics-out /tmp/dumps.jsonl
+//     nexus-forensics -dumps /tmp/dumps.jsonl
+//     nexus-forensics -trace /tmp/trace.json          # blame breakdown only
+//     nexus-forensics -audit /tmp/audit.json          # plan-diff history only
+//     nexus-forensics -dumps - < /tmp/dumps.jsonl     # stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"nexus/internal/forensics"
+	"nexus/internal/trace"
+)
+
+func main() {
+	dumpsPath := flag.String("dumps", "", "flight-recorder dump JSONL ('-' = stdin)")
+	tracePath := flag.String("trace", "", "event trace JSON ('-' = stdin); prints the blame breakdown")
+	auditPath := flag.String("audit", "", "control-plane audit log JSON; prints the plan-diff history")
+	flag.Parse()
+
+	if *dumpsPath == "" && *tracePath == "" && *auditPath == "" {
+		fmt.Fprintln(os.Stderr, "nexus-forensics: need -dumps, -trace, and/or -audit")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *dumpsPath != "" {
+		dumps, err := loadDumps(*dumpsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("flight recorder: %d dump bundle(s)\n", len(dumps))
+		for i := range dumps {
+			fmt.Println()
+			if err := dumps[i].WriteText(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	if *tracePath != "" {
+		events, err := loadTrace(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		blames := trace.SessionBlames(trace.AttributeBlame(events))
+		if len(blames) == 0 {
+			log.Fatalf("nexus-forensics: %s has no attributable requests (need enqueue+execute+complete spans)", *tracePath)
+		}
+		fmt.Printf("trace: %d events\n", len(events))
+		if err := trace.WriteBlameReport(os.Stdout, blames); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *auditPath != "" {
+		f, err := os.Open(*auditPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		audit, err := trace.ReadAudit(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		diffs := audit.PlanDiffs()
+		fmt.Printf("plan-diff history: %d epoch(s)\n", len(diffs))
+		for _, pd := range diffs {
+			if err := trace.WritePlanDiffText(os.Stdout, pd); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+// loadDumps reads a dump-bundle JSONL file (or stdin for "-"), refusing
+// empty inputs: an empty dump file means no alert ever fired — worth saying
+// out loud rather than printing empty success.
+func loadDumps(path string) ([]forensics.Dump, error) {
+	var r io.Reader = os.Stdin
+	name := "stdin"
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+		name = path
+	}
+	dumps, err := forensics.ReadDumpsJSONL(r)
+	if err != nil {
+		return nil, fmt.Errorf("nexus-forensics: %s: %w", name, err)
+	}
+	if len(dumps) == 0 {
+		return nil, fmt.Errorf("nexus-forensics: %s contains no dump bundles (did any alert fire? see nexus-sim -forensics)", name)
+	}
+	return dumps, nil
+}
+
+// loadTrace reads a trace event file (or stdin for "-").
+func loadTrace(path string) ([]trace.Event, error) {
+	var r io.Reader = os.Stdin
+	name := "stdin"
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+		name = path
+	}
+	events, err := trace.ReadJSON(r)
+	if err != nil {
+		return nil, fmt.Errorf("nexus-forensics: %s: %w", name, err)
+	}
+	return events, nil
+}

@@ -19,6 +19,7 @@ import (
 
 	"nexus/internal/apps"
 	"nexus/internal/cluster"
+	"nexus/internal/forensics"
 	"nexus/internal/spec"
 	"nexus/internal/telemetry"
 )
@@ -55,6 +56,10 @@ func main() {
 	breakerN := flag.Int("breaker", 0, "consecutive dispatch failures that open a backend's circuit breaker (0 = off)")
 	breakerCool := flag.Duration("breaker-cooloff", time.Second, "open-breaker cooloff before a half-open probe (needs -breaker)")
 	recoveryCap := flag.Int("recovery-cap", 0, "max per-session route changes per post-outage push (needs -delta-routing; 0 = uncapped)")
+	forensicsOn := flag.Bool("forensics", false, "arm the flight recorder (implies tracing, -audit, and -telemetry)")
+	forensicsOut := flag.String("forensics-out", "", "write alert-triggered dump bundles as JSONL to this file (implies -forensics; read with nexus-forensics)")
+	forensicsWindow := flag.Duration("forensics-window", 0, "capture horizon before each anomaly (0 = 5s; needs -forensics)")
+	selfObs := flag.Bool("telemetry-self", false, "export runtime self-observability gauges (goroutines, heap, GC, ring/arena occupancy; nondeterministic, needs -telemetry)")
 	flag.Parse()
 
 	// -trace-out without -trace records into a generously sized ring.
@@ -64,16 +69,24 @@ func main() {
 	if *auditOut != "" {
 		*auditOn = true
 	}
+	if *forensicsOut != "" || *forensicsWindow > 0 {
+		*forensicsOn = true
+	}
 	if (*telemOut != "" || *alertsOut != "" || *telemListen != "") && *telemInterval == 0 {
 		*telemInterval = telemetry.DefaultInterval
 	}
 	var telemCfg *telemetry.Config
 	if *telemInterval > 0 {
-		telemCfg = &telemetry.Config{Interval: *telemInterval, WallTimings: *wallTimings}
+		telemCfg = &telemetry.Config{Interval: *telemInterval, WallTimings: *wallTimings, SelfObserve: *selfObs}
+	}
+	var forensicsCfg *forensics.Config
+	if *forensicsOn {
+		forensicsCfg = &forensics.Config{Window: *forensicsWindow}
 	}
 
 	tOpts := telemetryOpts{
 		out: *telemOut, alerts: *alertsOut, listen: *telemListen, hold: *telemHold,
+		forensics: *forensicsOut,
 	}
 
 	var d *cluster.Deployment
@@ -112,6 +125,7 @@ func main() {
 		PlannerShards:  *shards,
 		PlanHysteresis: *planHyst,
 		DeltaRouting:   *deltaRouting,
+		Forensics:      forensicsCfg,
 
 		RouteLeaseTTL:           *leaseTTL,
 		ServeStale:              *serveStale,
@@ -154,10 +168,11 @@ func main() {
 
 // telemetryOpts bundles the telemetry output destinations.
 type telemetryOpts struct {
-	out    string // snapshot JSONL path
-	alerts string // alert log JSONL path
-	listen string // HTTP address for live Prometheus scraping
-	hold   time.Duration
+	out       string // snapshot JSONL path
+	alerts    string // alert log JSONL path
+	listen    string // HTTP address for live Prometheus scraping
+	hold      time.Duration
+	forensics string // flight-recorder dump JSONL path
 }
 
 // runAndReport executes the deployment and prints the standard panels.
@@ -235,6 +250,26 @@ func runAndReport(d *cluster.Deployment, duration time.Duration, label string, g
 			fmt.Println("\n  control-plane audit log:")
 			if err := a.WriteText(os.Stdout); err != nil {
 				log.Fatal(err)
+			}
+		}
+	}
+	if fr := d.Flight(); fr != nil {
+		dumps := fr.Dumps()
+		fmt.Printf("\n  flight recorder: %d dump bundle(s), %d trigger(s) suppressed\n",
+			len(dumps), fr.Suppressed())
+		if tOpts.forensics != "" {
+			if err := writeFile(tOpts.forensics, func(w io.Writer) error {
+				return forensics.WriteDumpsJSONL(w, dumps)
+			}); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  dumps written to %s (read with nexus-forensics -dumps %s)\n",
+				tOpts.forensics, tOpts.forensics)
+		} else {
+			for i := range dumps {
+				if err := dumps[i].WriteText(prefixed(os.Stdout, "  ")); err != nil {
+					log.Fatal(err)
+				}
 			}
 		}
 	}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"nexus/internal/telemetry"
+)
+
+// feedParser incrementally splits an append-only snapshot JSONL stream into
+// snapshots, tolerating the torn tails a live tail routinely observes:
+// bytes after the last newline stay buffered until the writer finishes the
+// line, and a newline-terminated trailing line that fails to parse is held
+// back and retried on the next poll instead of aborting the watch (a
+// writer's flush boundary can land anywhere). A malformed line that is no
+// longer the tail — complete records follow it — can never become valid,
+// so that one is reported as corrupt.
+type feedParser struct {
+	pending []byte
+}
+
+// advance consumes the next chunk read from the feed and returns the
+// snapshots completed by it.
+func (p *feedParser) advance(chunk []byte) ([]telemetry.Snapshot, error) {
+	p.pending = append(p.pending, chunk...)
+	var out []telemetry.Snapshot
+	rest := p.pending
+	for {
+		i := bytes.IndexByte(rest, '\n')
+		if i < 0 {
+			break
+		}
+		line := bytes.TrimSpace(rest[:i])
+		if len(line) == 0 {
+			rest = rest[i+1:]
+			continue
+		}
+		var s telemetry.Snapshot
+		if err := json.Unmarshal(line, &s); err != nil {
+			if bytes.IndexByte(rest[i+1:], '\n') < 0 {
+				// Torn tail: hold the line and retry once more arrives.
+				break
+			}
+			return out, fmt.Errorf("parsing snapshot line: %w", err)
+		}
+		s.At = time.Duration(s.AtMS * float64(time.Millisecond))
+		out = append(out, s)
+		rest = rest[i+1:]
+	}
+	// rest aliases pending; copy handles the overlap.
+	n := copy(p.pending, rest)
+	p.pending = p.pending[:n]
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"nexus/internal/telemetry"
+)
+
+// feedLine serializes one snapshot the way nexus-sim writes the stream.
+func feedLine(t *testing.T, atMS float64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	s := telemetry.Snapshot{At: time.Duration(atMS * float64(time.Millisecond)), AtMS: atMS}
+	if err := telemetry.WriteSnapshotsJSONL(&buf, []telemetry.Snapshot{s}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFeedParserByteByByte appends a snapshot line one byte at a time — the
+// worst-case torn tail a live tail can observe — and asserts the parser
+// never errors and emits the snapshot exactly once, on the final newline.
+func TestFeedParserByteByByte(t *testing.T) {
+	line := feedLine(t, 1500)
+	var p feedParser
+	var got []telemetry.Snapshot
+	for i, c := range line {
+		snaps, err := p.advance([]byte{c})
+		if err != nil {
+			t.Fatalf("byte %d (%q): unexpected error: %v", i, c, err)
+		}
+		if len(snaps) > 0 && i != len(line)-1 {
+			t.Fatalf("byte %d (%q): snapshot emitted before the trailing newline", i, c)
+		}
+		got = append(got, snaps...)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d snapshots, want 1", len(got))
+	}
+	if got[0].AtMS != 1500 || got[0].At != 1500*time.Millisecond {
+		t.Fatalf("snapshot round trip: got at_ms=%v at=%v", got[0].AtMS, got[0].At)
+	}
+}
+
+// TestFeedParserChunks covers multi-line chunks split at arbitrary points:
+// a chunk carrying one and a half lines yields the complete line now and
+// the rest once its tail arrives.
+func TestFeedParserChunks(t *testing.T) {
+	a, b := feedLine(t, 500), feedLine(t, 1000)
+	joined := append(append([]byte{}, a...), b...)
+	cut := len(a) + len(b)/2
+	var p feedParser
+	snaps, err := p.advance(joined[:cut])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0].AtMS != 500 {
+		t.Fatalf("first chunk: got %+v, want one snapshot at 500ms", snaps)
+	}
+	snaps, err = p.advance(joined[cut:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0].AtMS != 1000 {
+		t.Fatalf("second chunk: got %+v, want one snapshot at 1000ms", snaps)
+	}
+	if len(p.pending) != 0 {
+		t.Fatalf("pending buffer not drained: %q", p.pending)
+	}
+}
+
+// TestFeedParserTornTailRetries pins the retry semantics: a
+// newline-terminated trailing line that does not parse is held back, not
+// fatal — the watcher polls again rather than exiting. Only when complete
+// records arrive after it (so it can never become valid) is it corrupt.
+func TestFeedParserTornTailRetries(t *testing.T) {
+	var p feedParser
+	snaps, err := p.advance([]byte("{\"at_ms\":\n"))
+	if err != nil {
+		t.Fatalf("torn tail must be held for retry, got error: %v", err)
+	}
+	if len(snaps) != 0 {
+		t.Fatalf("torn tail yielded snapshots: %+v", snaps)
+	}
+
+	// More bytes arrive, and the held line is now followed by a complete
+	// record: it is genuinely corrupt and must be reported.
+	if _, err := p.advance(feedLine(t, 2000)); err == nil {
+		t.Fatal("corrupt non-tail line must be reported, got nil error")
+	}
+}
+
+// TestFeedParserSkipsBlankLines mirrors the old reader's tolerance for
+// blank separator lines.
+func TestFeedParserSkipsBlankLines(t *testing.T) {
+	var p feedParser
+	input := append([]byte("\n\n"), feedLine(t, 250)...)
+	snaps, err := p.advance(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0].AtMS != 250 {
+		t.Fatalf("got %+v, want one snapshot at 250ms", snaps)
+	}
+}

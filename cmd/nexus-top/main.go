@@ -1,18 +1,18 @@
 // nexus-top is a terminal dashboard over a live-telemetry snapshot stream
 // (nexus-sim -telemetry-out). It renders per-session goodput and SLO
 // attainment, per-GPU utilization/queue/batch state, scheduler counters,
-// and the firing alerts — from a finished recording, or live by tailing a
+// the firing alerts, and — when given the audit log — the scheduler's
+// recent plan changes, from a finished recording or live by tailing a
 // file another process is still appending to.
 //
 //	nexus-sim -app game -rate 300 -telemetry-out /tmp/telem.jsonl -alerts-out /tmp/alerts.jsonl
 //	nexus-top -in /tmp/telem.jsonl -alerts /tmp/alerts.jsonl
+//	nexus-top -in /tmp/telem.jsonl -audit /tmp/audit.json  # plan-change panel
 //	nexus-top -in /tmp/telem.jsonl -follow        # live tail
 //	nexus-top -in - < /tmp/telem.jsonl            # stdin
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,11 +23,13 @@ import (
 	"time"
 
 	"nexus/internal/telemetry"
+	"nexus/internal/trace"
 )
 
 func main() {
 	in := flag.String("in", "", "telemetry snapshot JSONL ('-' = stdin)")
 	alertsPath := flag.String("alerts", "", "telemetry alert-log JSONL (optional)")
+	auditPath := flag.String("audit", "", "control-plane audit log JSON (optional; adds the plan-change panel)")
 	follow := flag.Bool("follow", false, "keep tailing -in as it grows, re-rendering each snapshot")
 	refresh := flag.Duration("refresh", 500*time.Millisecond, "poll period while following")
 	plain := flag.Bool("plain", false, "no terminal control codes; print one final frame")
@@ -52,12 +54,26 @@ func main() {
 		}
 	}
 
+	var planDiffs []trace.PlanDiffRecord
+	if *auditPath != "" {
+		f, err := os.Open(*auditPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		audit, err := trace.ReadAudit(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		planDiffs = audit.PlanDiffs()
+	}
+
 	if *in == "-" {
 		snaps, err := telemetry.ReadSnapshotsJSONL(os.Stdin)
 		if err != nil {
 			log.Fatal(err)
 		}
-		finish(snaps, alerts, *plain)
+		finish(snaps, alerts, planDiffs, *plain)
 		return
 	}
 
@@ -71,67 +87,53 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		finish(snaps, alerts, *plain)
+		finish(snaps, alerts, planDiffs, *plain)
 		return
 	}
 
-	if err := tail(*in, alerts, *refresh, *plain); err != nil {
+	if err := tail(*in, alerts, planDiffs, *refresh, *plain); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // finish renders the recording's final state once.
-func finish(snaps []telemetry.Snapshot, alerts []telemetry.Alert, plain bool) {
+func finish(snaps []telemetry.Snapshot, alerts []telemetry.Alert, planDiffs []trace.PlanDiffRecord, plain bool) {
 	if len(snaps) == 0 {
 		log.Fatal("nexus-top: no snapshots in input (empty or truncated stream?)")
 	}
 	if !plain {
 		fmt.Print("\x1b[H\x1b[2J")
 	}
-	os.Stdout.WriteString(renderFrame(snaps, alerts))
+	os.Stdout.WriteString(renderFrame(snaps, alerts, planDiffs))
 }
 
 // tail follows a growing snapshot file, rendering a frame per new
-// snapshot. Partial trailing lines (a writer mid-append) stay buffered
-// until their newline arrives. Runs until interrupted (^C).
-func tail(path string, alerts []telemetry.Alert, refresh time.Duration, plain bool) error {
+// snapshot. Torn trailing lines (a writer mid-append) stay buffered in the
+// feed parser and are retried on the next poll instead of killing the
+// watch. Runs until interrupted (^C).
+func tail(path string, alerts []telemetry.Alert, planDiffs []trace.PlanDiffRecord, refresh time.Duration, plain bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	var pending []byte
+	var feed feedParser
 	var snaps []telemetry.Snapshot
 	for {
 		chunk, err := io.ReadAll(f)
 		if err != nil {
 			return err
 		}
-		pending = append(pending, chunk...)
-		drew := false
-		for {
-			i := bytes.IndexByte(pending, '\n')
-			if i < 0 {
-				break
-			}
-			line := bytes.TrimSpace(pending[:i])
-			pending = pending[i+1:]
-			if len(line) == 0 {
-				continue
-			}
-			var s telemetry.Snapshot
-			if err := json.Unmarshal(line, &s); err != nil {
-				return fmt.Errorf("nexus-top: parsing %s: %w", path, err)
-			}
-			s.At = time.Duration(s.AtMS * float64(time.Millisecond))
-			snaps = append(snaps, s)
-			drew = true
+		fresh, err := feed.advance(chunk)
+		if err != nil {
+			return fmt.Errorf("nexus-top: %s: %w", path, err)
 		}
-		if drew {
+		if len(fresh) > 0 {
+			snaps = append(snaps, fresh...)
 			if !plain {
 				fmt.Print("\x1b[H\x1b[2J")
 			}
-			os.Stdout.WriteString(renderFrame(snaps, alerts))
+			os.Stdout.WriteString(renderFrame(snaps, alerts, planDiffs))
 		}
 		time.Sleep(refresh)
 	}
@@ -139,8 +141,8 @@ func tail(path string, alerts []telemetry.Alert, refresh time.Duration, plain bo
 
 // renderFrame builds one dashboard frame from the snapshot history (the
 // last snapshot is the displayed state; the previous one provides rate
-// deltas) and the alert log.
-func renderFrame(snaps []telemetry.Snapshot, alerts []telemetry.Alert) string {
+// deltas), the alert log, and the plan-diff history.
+func renderFrame(snaps []telemetry.Snapshot, alerts []telemetry.Alert, planDiffs []trace.PlanDiffRecord) string {
 	cur := &snaps[len(snaps)-1]
 	var prev *telemetry.Snapshot
 	if len(snaps) > 1 {
@@ -175,8 +177,10 @@ func renderFrame(snaps []telemetry.Snapshot, alerts []telemetry.Alert) string {
 		fmt.Fprintf(&b, "%-24s %9.0f %9.0f %8.0f %8.2f %10.1f\n", sid, sent, good, bad, attain, goodput)
 	}
 
-	// Per-GPU panel.
-	fmt.Fprintf(&b, "\n%-10s %4s %7s %7s %7s %10s\n", "BACKEND", "UP", "DUTY%", "QUEUE", "BATCH", "EXEC p99")
+	// Per-GPU panel. Under forensics the exec window carries an exemplar
+	// request ID — the lead request of the window's worst batch — so a hot
+	// p99 cell names a concrete span to chase in the trace.
+	fmt.Fprintf(&b, "\n%-10s %4s %7s %7s %7s %10s %12s\n", "BACKEND", "UP", "DUTY%", "QUEUE", "BATCH", "EXEC p99", "EXEMPLAR")
 	for _, key := range cur.Keys("backend_up") {
 		beID := telemetry.LabelValue(key, "backend")
 		up, _ := cur.Gauge(key)
@@ -187,11 +191,32 @@ func renderFrame(snaps []telemetry.Snapshot, alerts []telemetry.Alert) string {
 		if up > 0 {
 			upStr = "up"
 		}
-		p99 := "-"
+		p99, exemplar := "-", "-"
 		if w, ok := cur.Windows[telemetry.Key("backend_exec_ms", "backend", beID)]; ok && w.Count > 0 {
 			p99 = fmt.Sprintf("%.2fms", w.P99MS)
+			if w.ExemplarID != 0 {
+				exemplar = fmt.Sprintf("req %d", w.ExemplarID)
+			}
 		}
-		fmt.Fprintf(&b, "%-10s %4s %7.1f %7.0f %7.1f %10s\n", beID, upStr, 100*duty, queue, batch, p99)
+		fmt.Fprintf(&b, "%-10s %4s %7.1f %7.0f %7.1f %10s %12s\n", beID, upStr, 100*duty, queue, batch, p99, exemplar)
+	}
+
+	// Plan-change panel: the scheduler's most recent decisions up to the
+	// displayed time — the "what changed right before" half of a tail
+	// regression.
+	var recentDiffs []trace.PlanDiffRecord
+	for _, pd := range planDiffs {
+		if pd.AtMS > cur.AtMS {
+			break
+		}
+		recentDiffs = append(recentDiffs, pd)
+	}
+	if n := len(recentDiffs); n > 0 {
+		shown := recentDiffs[max(0, n-3):]
+		fmt.Fprintf(&b, "\nplan changes (last %d epochs):\n", len(shown))
+		for _, pd := range shown {
+			trace.WritePlanDiffText(&b, pd)
+		}
 	}
 
 	// Alert panel: transitions up to the displayed time; firing set last.

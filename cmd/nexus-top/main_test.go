@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nexus/internal/telemetry"
+	"nexus/internal/trace"
 )
 
 // snap builds a snapshot with the counters/gauges the dashboard reads.
@@ -40,7 +41,7 @@ func TestRenderFrame(t *testing.T) {
 	alerts := []telemetry.Alert{
 		{At: 1500 * time.Millisecond, AtMS: 1500, Rule: "slo-burn-rate", Target: "s", State: "firing", Value: 9.9},
 	}
-	out := renderFrame(snaps, alerts)
+	out := renderFrame(snaps, alerts, nil)
 
 	for _, want := range []string{
 		"t=2.0s",
@@ -77,7 +78,7 @@ func TestRenderFrameAlertsResolveAndClip(t *testing.T) {
 		// After the displayed snapshot time — must not appear.
 		{At: 5 * time.Second, AtMS: 5000, Rule: "backend-flap", Target: "be1", State: "firing"},
 	}
-	out := renderFrame(snaps, alerts)
+	out := renderFrame(snaps, alerts, nil)
 	if strings.Contains(out, "FIRING:") {
 		t.Errorf("resolved alert must clear the firing panel:\n%s", out)
 	}
@@ -90,9 +91,56 @@ func TestRenderFrameAlertsResolveAndClip(t *testing.T) {
 }
 
 func TestRenderFrameSingleSnapshot(t *testing.T) {
-	out := renderFrame([]telemetry.Snapshot{snap(time.Second, 50)}, nil)
+	out := renderFrame([]telemetry.Snapshot{snap(time.Second, 50)}, nil, nil)
 	// No previous snapshot: goodput column renders 0.0 without panicking.
 	if !strings.Contains(out, "0.0") {
 		t.Errorf("single-snapshot frame should render zero goodput:\n%s", out)
+	}
+}
+
+// TestRenderFramePlanDiffPanel pins the plan-change panel: diffs up to the
+// displayed time appear (clipped to the last three epochs), future diffs
+// do not.
+func TestRenderFramePlanDiffPanel(t *testing.T) {
+	diffs := []trace.PlanDiffRecord{
+		{Epoch: 1, AtMS: 500, Cause: "initial", Changes: []trace.PlanChange{
+			{Kind: "unit-added", Session: "s", Unit: "u", Node: "plan-0"},
+		}},
+		{Epoch: 2, AtMS: 1500, Cause: "periodic", Changes: []trace.PlanChange{
+			{Kind: "session-moved", Session: "s", Unit: "u", From: "plan-0", To: "plan-1"},
+		}},
+		// After the displayed snapshot time — must not appear.
+		{Epoch: 3, AtMS: 9000, Cause: "recovery", Changes: []trace.PlanChange{
+			{Kind: "replica-removed", Node: "plan-1", From: "be9"},
+		}},
+	}
+	out := renderFrame([]telemetry.Snapshot{snap(2*time.Second, 100)}, nil, diffs)
+	for _, want := range []string{"plan changes", "session-moved", "plan-0->plan-1", "unit-added"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "replica-removed") {
+		t.Errorf("future plan diff leaked into the frame:\n%s", out)
+	}
+}
+
+// TestRenderFrameExemplar pins the EXEC p99 exemplar cell: a window
+// carrying an exemplar request ID names it; one without renders a dash.
+func TestRenderFrameExemplar(t *testing.T) {
+	s := snap(time.Second, 50)
+	out := renderFrame([]telemetry.Snapshot{s}, nil, nil)
+	if !strings.Contains(out, "EXEMPLAR") {
+		t.Fatalf("frame missing exemplar column:\n%s", out)
+	}
+	if strings.Contains(out, "req ") {
+		t.Errorf("exemplar shown without an ID:\n%s", out)
+	}
+	w := s.Windows[telemetry.Key("backend_exec_ms", "backend", "be0")]
+	w.ExemplarID = 4242
+	s.Windows[telemetry.Key("backend_exec_ms", "backend", "be0")] = w
+	out = renderFrame([]telemetry.Snapshot{s}, nil, nil)
+	if !strings.Contains(out, "req 4242") {
+		t.Errorf("frame missing exemplar req 4242:\n%s", out)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"nexus/internal/gpusim"
 	"nexus/internal/profiler"
 	"nexus/internal/simclock"
+	"nexus/internal/trace"
 	"nexus/internal/workload"
 )
 
@@ -79,5 +80,93 @@ func BenchmarkDispatchHotPath(b *testing.B) {
 	b.StopTimer()
 	if served == 0 {
 		b.Fatal("no requests served")
+	}
+}
+
+// BenchmarkDispatchHotPathTraced replays the same steady-state wave with
+// the flight recorder's span sources attached — per-request Execute records
+// from the OnBatch hook and Complete/Drop records in the completion sink,
+// filled in place via the tracer's inlinable Reserve fast path — so the
+// delta over BenchmarkDispatchHotPath is the full cost of always-on span
+// capture (dominated by the 136-byte event writes themselves). The CI gate
+// pins it to its recorded baseline and to zero allocations: capture cost
+// regressions surface here, not in production tail latency.
+func BenchmarkDispatchHotPathTraced(b *testing.B) {
+	clock := simclock.New()
+	dev := gpusim.New(clock, "gpu0", profiler.GTX1080Ti, gpusim.Exclusive)
+	tr := trace.New(1 << 14)
+	served := 0
+	onBatch := func(backendID, unitID string, batch []Request, inc uint64, gpuTime time.Duration) {
+		at := clock.Now()
+		for i := range batch {
+			*tr.Reserve() = trace.Event{At: at, Kind: trace.Execute,
+				ReqID: batch[i].ID, Session: batch[i].Session,
+				Backend: backendID, Unit: unitID,
+				Batch: len(batch), Dur: gpuTime, Inc: inc}
+		}
+	}
+	done := func(req Request, outcome Outcome, at time.Duration) {
+		served++
+		kind := trace.Complete
+		cause := ""
+		if outcome != OK {
+			kind = trace.Drop
+			cause = outcome.String()
+		}
+		*tr.Reserve() = trace.Event{At: at, Kind: kind, ReqID: req.ID,
+			Session: req.Session, Dur: at - req.Arrival, Cause: cause}
+	}
+	be := New("b0", clock, dev,
+		Config{Overlap: true, Discipline: RoundRobin, OnBatch: onBatch}, done)
+	if err := be.Configure([]Unit{{ID: "u", Profile: testUnitProfile(), TargetBatch: 16}}); err != nil {
+		b.Fatal(err)
+	}
+	clock.RunUntil(2 * time.Second) // model load
+
+	rng := rand.New(rand.NewSource(7))
+	proc := workload.Uniform{Rate: 2000}
+	var offsets []time.Duration
+	for t := proc.Interarrival(0, rng); t < time.Second; t += proc.Interarrival(t, rng) {
+		offsets = append(offsets, t)
+	}
+
+	const slo = 100 * time.Millisecond
+	var (
+		start time.Duration
+		idx   int
+		id    uint64
+		pump  func()
+	)
+	pump = func() {
+		now := clock.Now()
+		if err := be.Enqueue("u", Request{ID: id, Session: "s", Arrival: now, Deadline: now + slo}); err != nil {
+			b.Fatal(err)
+		}
+		id++
+		idx++
+		if idx < len(offsets) {
+			clock.At(start+offsets[idx], pump)
+		}
+	}
+	wave := func() {
+		idx = 0
+		start = clock.Now()
+		clock.At(start+offsets[0], pump)
+		clock.Run()
+	}
+	wave()
+	wave()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wave()
+	}
+	b.StopTimer()
+	if served == 0 {
+		b.Fatal("no requests served")
+	}
+	if tr.Total() == 0 {
+		b.Fatal("no events traced")
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"nexus/internal/backend"
+	"nexus/internal/forensics"
 	"nexus/internal/frontend"
 	"nexus/internal/globalsched"
 	"nexus/internal/gpusim"
@@ -131,6 +132,15 @@ type Config struct {
 	// via Deployment.Telemetry. nil (the default) disables the plane
 	// entirely — no instruments, no sampling tick, goldens unchanged.
 	Telemetry *telemetry.Config
+	// Forensics enables the anomaly-triggered flight recorder: every new
+	// firing alert freezes the last window of spans, audit records, chaos
+	// edges, and metric samples into one dump bundle (read them via
+	// Deployment.Flight). Setting it implies tracing (a large default ring
+	// if TraceCapacity is unset), the audit log, and the telemetry plane
+	// with default rules if Telemetry is nil. Exec-latency windows
+	// additionally carry exemplar request IDs. nil (the default) changes
+	// nothing — goldens stay byte-identical.
+	Forensics *forensics.Config
 
 	// Degraded-mode survival layer. Every knob below is off by default and
 	// nil-no-op when off: a deployment that sets none of them runs the
@@ -248,6 +258,8 @@ type Deployment struct {
 	// the sampler's pull-side state.
 	telem       *telemetry.Collector
 	telemSample *telemetrySampler
+	// flight is the anomaly-triggered dump recorder (nil = off).
+	flight *forensics.Recorder
 }
 
 type sessionLoad struct {
@@ -294,6 +306,17 @@ func New(cfg Config) (*Deployment, error) {
 	} else if cfg.Warmup < 0 {
 		cfg.Warmup = 0
 	}
+	if cfg.Forensics != nil {
+		// The flight recorder needs all three planes: spans to dump, audit
+		// records to correlate, and the alert engine to trigger on.
+		if cfg.TraceCapacity <= 0 {
+			cfg.TraceCapacity = 1 << 18
+		}
+		cfg.Audit = true
+		if cfg.Telemetry == nil {
+			cfg.Telemetry = &telemetry.Config{}
+		}
+	}
 	mdb := model.Catalog()
 	d := &Deployment{
 		Clock:         simclock.New(),
@@ -334,6 +357,13 @@ func New(cfg Config) (*Deployment, error) {
 		d.telem = telemetry.NewCollector(*cfg.Telemetry)
 		d.telemSample = newTelemetrySampler(d)
 	}
+	if cfg.Forensics != nil {
+		d.flight = forensics.New(*cfg.Forensics)
+		d.telem.SetOnSample(d.flight.ObserveSample)
+		d.telem.SetOnAlert(func(a telemetry.Alert) {
+			d.flight.Trigger(a.At, a, d.tracer, d.audit)
+		})
+	}
 	if cfg.SessionTimelines {
 		d.sessGood = make(map[string]*metrics.TimeSeries)
 		d.sessBad = make(map[string]*metrics.TimeSeries)
@@ -344,9 +374,10 @@ func New(cfg Config) (*Deployment, error) {
 	beCfg, devMode := d.runtimeConfig()
 	if d.tracer != nil {
 		beCfg.OnBatch = func(backendID, unitID string, batch []backend.Request, inc uint64, gpuTime time.Duration) {
+			at := d.Clock.Now()
 			for _, r := range batch {
 				d.tracer.Record(trace.Event{
-					At: d.Clock.Now(), Kind: trace.Execute, ReqID: r.ID,
+					At: at, Kind: trace.Execute, ReqID: r.ID,
 					Session: r.Session, Backend: backendID, Unit: unitID,
 					Batch: len(batch), Dur: gpuTime, Inc: inc,
 				})
@@ -356,12 +387,22 @@ func New(cfg Config) (*Deployment, error) {
 	if d.telem != nil {
 		// Execute latency is the one push-style instrument: batch grain (not
 		// request grain), composed with the tracer's hook when both are on.
+		// Under forensics the window additionally carries the leading request
+		// ID of its worst batch, so a hot p99 cell links back to a trace span;
+		// without forensics the exemplar field never appears and the snapshot
+		// stream stays byte-identical to its goldens.
 		prevOnBatch := beCfg.OnBatch
+		exemplars := cfg.Forensics != nil
 		beCfg.OnBatch = func(backendID, unitID string, batch []backend.Request, inc uint64, gpuTime time.Duration) {
 			if prevOnBatch != nil {
 				prevOnBatch(backendID, unitID, batch, inc, gpuTime)
 			}
-			d.telemSample.execWindow(backendID).Observe(gpuTime)
+			w := d.telemSample.execWindow(backendID)
+			if exemplars && len(batch) > 0 {
+				w.ObserveExemplar(gpuTime, batch[0].ID)
+			} else {
+				w.Observe(gpuTime)
+			}
 		}
 	}
 	if d.audit != nil {
@@ -483,6 +524,10 @@ func (d *Deployment) Audit() *trace.Audit { return d.audit }
 // Telemetry returns the live telemetry collector (nil unless enabled via
 // Config.Telemetry).
 func (d *Deployment) Telemetry() *telemetry.Collector { return d.telem }
+
+// Flight returns the anomaly-triggered flight recorder (nil unless enabled
+// via Config.Forensics).
+func (d *Deployment) Flight() *forensics.Recorder { return d.flight }
 
 // runtimeConfig maps the system kind to backend behaviour (§7.2).
 func (d *Deployment) runtimeConfig() (backend.Config, gpusim.Mode) {

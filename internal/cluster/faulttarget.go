@@ -34,6 +34,7 @@ func (d *Deployment) CrashBackend(id string) bool {
 		return false
 	}
 	be.Fail()
+	d.chaos(trace.ChaosRecord{Kind: "outage", Backend: id, To: "down"})
 	return true
 }
 
@@ -42,7 +43,11 @@ func (d *Deployment) CrashBackend(id string) bool {
 // pool's free list (crash detected and parked). Returns false when the ID
 // is unknown or the backend is not dead.
 func (d *Deployment) RestartBackend(id string) bool {
-	return d.Pool.Restart(id)
+	if !d.Pool.Restart(id) {
+		return false
+	}
+	d.chaos(trace.ChaosRecord{Kind: "outage", Backend: id, To: "up"})
+	return true
 }
 
 // SlowBackend makes a backend's GPU a straggler: work submitted from now
@@ -54,6 +59,8 @@ func (d *Deployment) SlowBackend(id string, factor float64) bool {
 		return false
 	}
 	be.Device().SetSlowdown(factor)
+	d.chaos(trace.ChaosRecord{Kind: "straggler", Backend: id,
+		To: fmt.Sprintf("x%g", factor)})
 	return true
 }
 

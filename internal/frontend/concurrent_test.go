@@ -11,6 +11,7 @@ import (
 	"nexus/internal/gpusim"
 	"nexus/internal/profiler"
 	"nexus/internal/simclock"
+	"nexus/internal/trace"
 	"nexus/internal/workload"
 )
 
@@ -224,5 +225,17 @@ func TestZeroAllocSteadyState(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(100, step); avg != 0 {
 		t.Fatalf("steady-state dispatch allocates %.1f times per 16-request step, want 0", avg)
+	}
+
+	// With the flight recorder's span source attached the same path must
+	// stay allocation-free: Route and Enqueue events land in the tracer's
+	// preallocated ring, so always-on capture never costs the hot path an
+	// allocation.
+	fe.SetTracer(trace.New(1 << 14))
+	for i := 0; i < 50; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(100, step); avg != 0 {
+		t.Fatalf("traced steady-state dispatch allocates %.1f times per 16-request step, want 0", avg)
 	}
 }

@@ -185,6 +185,13 @@ type Frontend struct {
 	// clock goroutine, so it needs no lock; New seeds it from a contiguous
 	// arena so a fresh frontend reaches steady state without growing it.
 	sendPool []*pendingSend
+	// arenaHits/arenaGrows count sendPool reuses vs. fresh allocations, for
+	// self-observability: a healthy steady state is all hits, and a growing
+	// grow count means in-flight sends outrun the arena. Atomic only to be
+	// race-detector-clean against a telemetry scrape; both are updated on
+	// the pump/clock side.
+	arenaHits  atomic.Uint64
+	arenaGrows atomic.Uint64
 
 	// Degraded-mode survival state (see degraded.go). All nil/zero when the
 	// layer is off, so the hot path pays one nil check per feature.
@@ -600,9 +607,11 @@ func (f *Frontend) send(req workload.Request, r resolvedRoute, attempt int) {
 	if n := len(f.sendPool); n > 0 {
 		p = f.sendPool[n-1]
 		f.sendPool = f.sendPool[:n-1]
+		f.arenaHits.Add(1)
 	} else {
 		p = &pendingSend{f: f}
 		p.fire = p.deliver
+		f.arenaGrows.Add(1)
 	}
 	p.req, p.r, p.attempt = req, r, attempt
 	f.clock.After(f.netDelay+f.extraDelay, p.fire)
@@ -716,6 +725,19 @@ func (f *Frontend) Dispatches() uint64 { return f.dispatches.Load() }
 // Retries returns how many dispatches took the retry-once path after
 // hitting a dead backend or a reconfiguration race.
 func (f *Frontend) Retries() uint64 { return f.retries.Load() }
+
+// IngressDepth approximates the ingress ring's current occupancy, for
+// self-observability gauges. Racy by nature; see ring.MPSC.Len.
+func (f *Frontend) IngressDepth() int { return f.ingress.Len() }
+
+// IngressCap returns the ingress ring's capacity.
+func (f *Frontend) IngressCap() int { return f.ingress.Cap() }
+
+// ArenaStats returns the send-arena reuse counters: pool hits (recycled
+// send state) and grows (fresh allocations after the arena ran dry).
+func (f *Frontend) ArenaStats() (hits, grows uint64) {
+	return f.arenaHits.Load(), f.arenaGrows.Load()
+}
 
 // pick implements smooth weighted round-robin, which spreads a session's
 // requests across its replicas proportionally and deterministically. The

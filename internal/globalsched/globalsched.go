@@ -213,6 +213,12 @@ type Scheduler struct {
 	lastBeat map[string]time.Duration // backend ID -> last heartbeat time
 	monitor  *simclock.Ticker
 	failures int
+
+	// Plan-diff forensics state: the placement records of the last audited
+	// epoch (nil until the first audit) and the failure count at that point,
+	// so the next epoch's diff can be tagged with a recovery cause.
+	lastAudited       []trace.PlacementRecord
+	lastAuditFailures int
 	// lastMemberUnit remembers the latest epoch's member session -> unit
 	// mapping so emergency repairs can republish routes between epochs.
 	lastMemberUnit map[string]string
@@ -451,6 +457,27 @@ func (s *Scheduler) handleFailure(nodeID, beID string) {
 		}
 		_ = s.publishRoutes(s.prevPlan)
 	}
+	if s.cfg.Audit != nil {
+		// Off-epoch forensics edge: what the emergency path changed, without
+		// waiting for the next epoch's full placement diff.
+		changes := []trace.PlanChange{{Kind: "replica-removed", Node: nodeID, From: beID}}
+		for _, id := range s.nodeBackend[nodeID] {
+			found := false
+			for _, old := range kept {
+				if old == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				changes = append(changes, trace.PlanChange{Kind: "replica-added", Node: nodeID, To: id})
+			}
+		}
+		s.cfg.Audit.RecordPlanDiff(trace.PlanDiffRecord{
+			Epoch: s.epochs, AtMS: trace.MS(s.clock.Now()),
+			Cause: "recovery", Changes: changes,
+		})
+	}
 	if s.cfg.OnFailure != nil {
 		s.cfg.OnFailure(beID, s.clock.Now())
 	}
@@ -535,6 +562,7 @@ func (s *Scheduler) auditEpoch(plan *scheduler.Plan) {
 	}
 	now := trace.MS(s.clock.Now())
 	profiles := s.planProfiles()
+	recs := make([]trace.PlacementRecord, 0, len(plan.GPUs))
 	for _, g := range plan.GPUs {
 		rec := trace.PlacementRecord{
 			Epoch: s.epochs, AtMS: now, Node: g.ID,
@@ -555,7 +583,9 @@ func (s *Scheduler) auditEpoch(plan *scheduler.Plan) {
 			})
 		}
 		s.cfg.Audit.RecordPlacement(rec)
+		recs = append(recs, rec)
 	}
+	s.auditPlanDiff(now, recs)
 }
 
 // GPUsDemanded returns the GPU count the last plan wanted before any

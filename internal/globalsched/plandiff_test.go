@@ -1,0 +1,119 @@
+package globalsched
+
+import (
+	"testing"
+
+	"nexus/internal/trace"
+)
+
+// rec builds one plan-node placement record.
+func rec(node string, backends []string, units ...trace.PlacedUnit) trace.PlacementRecord {
+	return trace.PlacementRecord{Node: node, Backends: backends, Units: units}
+}
+
+func unit(session, unit string, batch int, rate, slice float64) trace.PlacedUnit {
+	return trace.PlacedUnit{Unit: unit, Session: session, Batch: batch, Rate: rate, Slice: slice}
+}
+
+func kinds(changes []trace.PlanChange) map[string]int {
+	out := map[string]int{}
+	for _, c := range changes {
+		out[c.Kind]++
+	}
+	return out
+}
+
+func TestDiffPlacementsInitial(t *testing.T) {
+	cur := []trace.PlacementRecord{
+		rec("plan-0", []string{"be0"}, unit("s1", "m1", 8, 100, 0)),
+		rec("plan-1", []string{"be1"}, unit("s2", "m2", 4, 50, 0)),
+	}
+	changes := DiffPlacements(nil, cur)
+	if len(changes) != 2 {
+		t.Fatalf("got %d changes, want 2: %+v", len(changes), changes)
+	}
+	for _, c := range changes {
+		if c.Kind != "unit-added" {
+			t.Errorf("initial diff produced %q, want unit-added", c.Kind)
+		}
+	}
+	// Sorted by session.
+	if changes[0].Session != "s1" || changes[1].Session != "s2" {
+		t.Errorf("changes not session-sorted: %+v", changes)
+	}
+}
+
+func TestDiffPlacementsNoChange(t *testing.T) {
+	a := []trace.PlacementRecord{rec("plan-0", []string{"be0"}, unit("s1", "m1", 8, 100, 0))}
+	b := []trace.PlacementRecord{rec("plan-0", []string{"be0"}, unit("s1", "m1", 8, 100, 0))}
+	if changes := DiffPlacements(a, b); len(changes) != 0 {
+		t.Fatalf("identical plans diffed: %+v", changes)
+	}
+}
+
+func TestDiffPlacementsDropAndMove(t *testing.T) {
+	prev := []trace.PlacementRecord{
+		rec("plan-0", []string{"be0"}, unit("s1", "m1", 8, 100, 0)),
+		rec("plan-1", []string{"be1"}, unit("s2", "m2", 4, 50, 0)),
+	}
+	cur := []trace.PlacementRecord{
+		// s1 moved nodes; s2 disappeared.
+		rec("plan-2", []string{"be2"}, unit("s1", "m1", 8, 100, 0)),
+	}
+	changes := DiffPlacements(prev, cur)
+	k := kinds(changes)
+	if k["session-moved"] != 1 || k["unit-dropped"] != 1 || len(changes) != 2 {
+		t.Fatalf("got %+v, want one session-moved and one unit-dropped", changes)
+	}
+	for _, c := range changes {
+		if c.Kind == "session-moved" && (c.From != "plan-0" || c.To != "plan-2") {
+			t.Errorf("move edge %s->%s, want plan-0->plan-2", c.From, c.To)
+		}
+	}
+}
+
+func TestDiffPlacementsInPlaceChanges(t *testing.T) {
+	prev := []trace.PlacementRecord{
+		rec("plan-0", []string{"be0", "be1"}, unit("s1", "m1", 8, 100, 0.5)),
+	}
+	cur := []trace.PlacementRecord{
+		rec("plan-0", []string{"be0", "be2"}, unit("s1", "m1", 16, 130, 0.75)),
+	}
+	changes := DiffPlacements(prev, cur)
+	k := kinds(changes)
+	for _, want := range []string{"batch-changed", "slice-changed", "rate-changed", "replicas-changed"} {
+		if k[want] != 1 {
+			t.Errorf("missing %s in %+v", want, changes)
+		}
+	}
+	if len(changes) != 4 {
+		t.Fatalf("got %d changes, want 4: %+v", len(changes), changes)
+	}
+}
+
+// TestDiffPlacementsRateHysteresis: rate drift inside the threshold is
+// EWMA noise, not a plan change.
+func TestDiffPlacementsRateHysteresis(t *testing.T) {
+	prev := []trace.PlacementRecord{rec("plan-0", []string{"be0"}, unit("s1", "m1", 8, 100, 0))}
+	within := []trace.PlacementRecord{rec("plan-0", []string{"be0"}, unit("s1", "m1", 8, 105, 0))}
+	if changes := DiffPlacements(prev, within); len(changes) != 0 {
+		t.Fatalf("5%% rate drift logged: %+v", changes)
+	}
+	beyond := []trace.PlacementRecord{rec("plan-0", []string{"be0"}, unit("s1", "m1", 8, 120, 0))}
+	changes := DiffPlacements(prev, beyond)
+	if len(changes) != 1 || changes[0].Kind != "rate-changed" {
+		t.Fatalf("20%% rate drift: got %+v, want one rate-changed", changes)
+	}
+}
+
+func TestRelDelta(t *testing.T) {
+	for _, tc := range []struct {
+		a, b, want float64
+	}{
+		{0, 0, 0}, {100, 100, 0}, {100, 110, 0.1 / 1.1}, {0, 50, 1}, {50, 0, 1},
+	} {
+		if got := relDelta(tc.a, tc.b); got < tc.want-1e-9 || got > tc.want+1e-9 {
+			t.Errorf("relDelta(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

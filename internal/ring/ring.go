@@ -106,6 +106,23 @@ func (r *MPSC[T]) Pop() (T, bool) {
 	return v, true
 }
 
+// Len approximates the number of published-but-unconsumed values from one
+// racy read of each cursor. It is an observability hint (ring occupancy
+// gauges), not a synchronization primitive: concurrent pushes and pops can
+// skew it by a few items either way, and it clamps to [0, Cap].
+func (r *MPSC[T]) Len() int {
+	tail := r.tail.Load()
+	head := r.head.Load()
+	if tail <= head {
+		return 0
+	}
+	n := tail - head
+	if n > uint64(len(r.slots)) {
+		n = uint64(len(r.slots))
+	}
+	return int(n)
+}
+
 // Empty reports whether no published value is ready at the consumer
 // cursor. Producers use it to re-check for stranded items after releasing
 // the consumer role (the pump-flag handoff race).

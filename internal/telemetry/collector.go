@@ -21,6 +21,12 @@ type Config struct {
 	// plan time. Off by default: wall time is nondeterministic, and leaving
 	// it out keeps the snapshot stream byte-identical across runs.
 	WallTimings bool
+	// SelfObserve additionally exports runtime self-observability gauges
+	// (goroutine count, heap bytes, cumulative GC pause, ingress ring
+	// occupancy, send-arena reuse rate). Off by default: runtime state is
+	// nondeterministic, like WallTimings, and leaving it out keeps the
+	// snapshot stream byte-identical across runs and worker counts.
+	SelfObserve bool
 }
 
 // Collector owns the registry, the snapshot stream, the alert engine, and
@@ -39,6 +45,12 @@ type Collector struct {
 	mu     sync.Mutex
 	latest Snapshot
 	has    bool
+
+	// Forensics hooks, both invoked on the simulation goroutine during
+	// Tick: onSample sees every snapshot (the flight recorder's metric
+	// feed), onAlert sees each new firing transition (its dump trigger).
+	onSample func(Snapshot)
+	onAlert  func(Alert)
 }
 
 // NewCollector builds a collector, resolving config defaults.
@@ -64,6 +76,29 @@ func (c *Collector) Interval() time.Duration {
 // WallTimings reports whether real plan-time measurement was requested.
 func (c *Collector) WallTimings() bool { return c != nil && c.cfg.WallTimings }
 
+// SelfObserve reports whether runtime self-observability was requested.
+func (c *Collector) SelfObserve() bool { return c != nil && c.cfg.SelfObserve }
+
+// SetOnSample installs a hook that sees every sampled snapshot, invoked on
+// the simulation goroutine before alert evaluation.
+func (c *Collector) SetOnSample(fn func(Snapshot)) {
+	if c == nil {
+		return
+	}
+	c.onSample = fn
+}
+
+// SetOnAlert installs a hook that sees each new firing alert transition,
+// invoked on the simulation goroutine during the tick that fired it.
+// Resolved transitions are not delivered: the flight recorder dumps on
+// anomaly onset, not on all-clear.
+func (c *Collector) SetOnAlert(fn func(Alert)) {
+	if c == nil {
+		return
+	}
+	c.onAlert = fn
+}
+
 // Registry returns the live instrument registry (nil for a nil collector,
 // whose instruments then no-op).
 func (c *Collector) Registry() *Registry {
@@ -85,7 +120,18 @@ func (c *Collector) Tick(at time.Duration) {
 		return
 	}
 	s := c.reg.Sample(at)
+	if c.onSample != nil {
+		c.onSample(s)
+	}
+	before := len(c.engine.Alerts())
 	c.engine.Observe(s)
+	if c.onAlert != nil {
+		for _, a := range c.engine.Alerts()[before:] {
+			if a.State == "firing" {
+				c.onAlert(a)
+			}
+		}
+	}
 	c.snaps = append(c.snaps, s)
 	c.mu.Lock()
 	c.latest = s

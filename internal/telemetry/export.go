@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"time"
@@ -134,16 +135,24 @@ func formatValue(v float64) string {
 
 // Handler serves the collector over HTTP for live runs:
 //
-//	/metrics  — latest snapshot, Prometheus text format
-//	/alerts   — alert log, plain text
-//	/health   — per-epoch scheduler health reports, plain text
+//	/metrics       — latest snapshot, Prometheus text format
+//	/alerts        — alert log, plain text
+//	/health        — per-epoch scheduler health reports, plain text
+//	/debug/pprof/  — Go runtime profiles (CPU, heap, goroutines, ...)
 //
 // /metrics reads only the mutex-published latest snapshot, so scraping a
 // running simulation is race-free; /alerts and /health are intended for
 // after the run (they read the logs without synchronization with the
-// simulation goroutine).
+// simulation goroutine). The pprof routes profile the simulator process
+// itself — the self-observability counterpart to the gauges SampleRuntime
+// exports.
 func Handler(c *Collector) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		s, ok := c.Latest()
 		if !ok {

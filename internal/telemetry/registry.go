@@ -145,7 +145,15 @@ func (g *Gauge) Value() float64 {
 // metrics.Histogram: observations accumulate until the next registry
 // sample, which summarizes and clears them. The nil Window accepts every
 // call and does nothing.
-type Window struct{ h metrics.Histogram }
+type Window struct {
+	h metrics.Histogram
+	// Exemplar state: the request ID behind the window's max observation,
+	// only populated via ObserveExemplar (forensics wiring) so plain
+	// deployments keep byte-identical snapshot streams.
+	exMax time.Duration
+	exID  uint64
+	exSet bool
+}
 
 // Observe records one duration into the current window.
 func (w *Window) Observe(d time.Duration) {
@@ -153,6 +161,19 @@ func (w *Window) Observe(d time.Duration) {
 		return
 	}
 	w.h.Record(d)
+}
+
+// ObserveExemplar records one duration and tags it with the request ID it
+// came from; the window's summary then carries the ID of its worst
+// observation, linking a hot histogram cell to a concrete trace span.
+func (w *Window) ObserveExemplar(d time.Duration, reqID uint64) {
+	if w == nil {
+		return
+	}
+	w.h.Record(d)
+	if !w.exSet || d > w.exMax {
+		w.exMax, w.exID, w.exSet = d, reqID, true
+	}
 }
 
 // take summarizes and resets the current window.
@@ -164,17 +185,23 @@ func (w *Window) take() WindowStats {
 		P99MS:  MS(w.h.Quantile(0.99)),
 		MaxMS:  MS(w.h.Max()),
 	}
+	if w.exSet {
+		s.ExemplarID = w.exID
+		w.exMax, w.exID, w.exSet = 0, 0, false
+	}
 	w.h.Reset()
 	return s
 }
 
-// WindowStats is one window's summary, in export milliseconds.
+// WindowStats is one window's summary, in export milliseconds. ExemplarID,
+// when present, is the request ID of the window's max observation.
 type WindowStats struct {
-	Count  uint64  `json:"count"`
-	MeanMS float64 `json:"mean_ms"`
-	P50MS  float64 `json:"p50_ms"`
-	P99MS  float64 `json:"p99_ms"`
-	MaxMS  float64 `json:"max_ms"`
+	Count      uint64  `json:"count"`
+	MeanMS     float64 `json:"mean_ms"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+	ExemplarID uint64  `json:"exemplar_req,omitempty"`
 }
 
 // Registry holds the live instruments, keyed canonically. Instruments are

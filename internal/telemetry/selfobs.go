@@ -1,0 +1,22 @@
+package telemetry
+
+import "runtime"
+
+// SampleRuntime exports the Go runtime's own health into the registry:
+// goroutine count, live heap, and cumulative GC pause. These are the
+// "watch the watcher" gauges — when the simulator itself degrades (a
+// goroutine leak, GC thrash under a million sessions), the telemetry plane
+// should say so rather than silently skew every other number. Callers gate
+// this behind Config.SelfObserve: the values are nondeterministic, so they
+// never belong in golden-compared snapshot streams.
+func SampleRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("runtime_goroutines").Set(float64(runtime.NumGoroutine()))
+	r.Gauge("runtime_heap_bytes").Set(float64(ms.HeapAlloc))
+	r.Gauge("runtime_gc_pause_total_ms").Set(float64(ms.PauseTotalNs) / 1e6)
+	r.Counter("runtime_gc_cycles_total").Set(float64(ms.NumGC))
+}

@@ -52,6 +52,12 @@ type Analysis struct {
 
 	// Timelines is per-unit GPU utilization, sorted by backend then unit.
 	Timelines []UnitTimeline
+
+	// Blame is the per-session p99 tail attribution: for every session, a
+	// stage-exact decomposition (admission, dispatch, batch-formation stall,
+	// queue, GPU service, co-residency interference) averaged over the p99
+	// cohort, with an exemplar request ID. Built by AttributeBlame.
+	Blame []SessionBlame
 }
 
 func quantile(sorted []time.Duration, q float64) time.Duration {
@@ -186,6 +192,7 @@ func Analyze(events []Event) *Analysis {
 		}
 		a.Timelines = append(a.Timelines, tl)
 	}
+	a.Blame = SessionBlames(AttributeBlame(events))
 	return a
 }
 
@@ -247,6 +254,9 @@ func (a *Analysis) WriteReport(w io.Writer) error {
 				}
 			}
 		}
+	}
+	if err := WriteBlameReport(w, a.Blame); err != nil {
+		return err
 	}
 	return nil
 }

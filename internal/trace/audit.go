@@ -67,13 +67,47 @@ type DropWindowRecord struct {
 // layer did about it, and when.
 type ChaosRecord struct {
 	AtMS     float64 `json:"at_ms"`
-	Kind     string  `json:"kind"` // "outage", "partition", "surge", "breaker", "lease", "admission"
+	Kind     string  `json:"kind"` // "outage", "partition", "surge", "straggler", "breaker", "lease", "admission"
 	Frontend string  `json:"frontend,omitempty"`
 	Backend  string  `json:"backend,omitempty"`
 	Session  string  `json:"session,omitempty"`
 	From     string  `json:"from,omitempty"`
 	To       string  `json:"to,omitempty"`
 }
+
+// PlanChange is one structured difference between two consecutive epoch
+// placements: a session's unit appearing, disappearing, or moving between
+// nodes, or a retained allocation whose batch, slice, rate, or replica set
+// changed. Kind is one of "session-moved", "unit-added", "unit-dropped",
+// "batch-changed", "slice-changed", "rate-changed", "replicas-changed",
+// "replica-removed", "replica-added".
+type PlanChange struct {
+	Kind    string `json:"kind"`
+	Session string `json:"session,omitempty"`
+	Unit    string `json:"unit,omitempty"`
+	Node    string `json:"node,omitempty"`
+	From    string `json:"from,omitempty"`
+	To      string `json:"to,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// PlanDiffRecord is the "why" log for one scheduler decision point: the
+// structured diff between the previous placement and this one, plus the
+// cause ("initial", "periodic", "recovery") and — under sharded planning —
+// how many shards replanned versus skipped on hysteresis.
+type PlanDiffRecord struct {
+	Epoch         int          `json:"epoch"`
+	AtMS          float64      `json:"at_ms"`
+	Cause         string       `json:"cause"`
+	SessionsMoved int          `json:"sessions_moved,omitempty"`
+	ShardsReplan  int          `json:"shards_replanned,omitempty"`
+	ShardsSkipped int          `json:"shards_skipped,omitempty"`
+	Changes       []PlanChange `json:"changes,omitempty"`
+}
+
+// maxPlanDiffs bounds the plan-diff log: one record per epoch plus one per
+// off-epoch recovery, so the bound is generous.
+const maxPlanDiffs = 1 << 14
 
 // maxDropWindows bounds the early-drop record list; placements and splits
 // are bounded by epochs × sessions, but drop windows are data-plane events.
@@ -92,6 +126,8 @@ type Audit struct {
 	dropsLost   int // drop-window records discarded once full
 	chaos       []ChaosRecord
 	chaosLost   int // chaos records discarded once full
+	planDiffs   []PlanDiffRecord
+	diffsLost   int // plan-diff records discarded once full
 }
 
 // NewAudit creates an empty audit log.
@@ -139,6 +175,27 @@ func (a *Audit) RecordChaos(r ChaosRecord) {
 	a.chaos = append(a.chaos, r)
 }
 
+// RecordPlanDiff appends one scheduler decision's structured diff. The list
+// is bounded; overflow is counted, not stored.
+func (a *Audit) RecordPlanDiff(r PlanDiffRecord) {
+	if a == nil {
+		return
+	}
+	if len(a.planDiffs) >= maxPlanDiffs {
+		a.diffsLost++
+		return
+	}
+	a.planDiffs = append(a.planDiffs, r)
+}
+
+// PlanDiffs returns the recorded plan diffs in decision order.
+func (a *Audit) PlanDiffs() []PlanDiffRecord {
+	if a == nil {
+		return nil
+	}
+	return a.planDiffs
+}
+
 // Chaos returns the recorded degraded-mode timeline in time order.
 func (a *Audit) Chaos() []ChaosRecord {
 	if a == nil {
@@ -179,6 +236,8 @@ type auditJSON struct {
 	DropsLost   int                `json:"drop_windows_lost,omitempty"`
 	Chaos       []ChaosRecord      `json:"chaos,omitempty"`
 	ChaosLost   int                `json:"chaos_lost,omitempty"`
+	PlanDiffs   []PlanDiffRecord   `json:"plan_diffs,omitempty"`
+	DiffsLost   int                `json:"plan_diffs_lost,omitempty"`
 }
 
 // WriteJSON writes the audit log as one JSON object.
@@ -189,6 +248,7 @@ func (a *Audit) WriteJSON(w io.Writer) error {
 			Placements: a.placements, Splits: a.splits,
 			DropWindows: a.dropWindows, DropsLost: a.dropsLost,
 			Chaos: a.chaos, ChaosLost: a.chaosLost,
+			PlanDiffs: a.planDiffs, DiffsLost: a.diffsLost,
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -206,6 +266,7 @@ func ReadAudit(r io.Reader) (*Audit, error) {
 		placements: doc.Placements, splits: doc.Splits,
 		dropWindows: doc.DropWindows, dropsLost: doc.DropsLost,
 		chaos: doc.Chaos, chaosLost: doc.ChaosLost,
+		planDiffs: doc.PlanDiffs, diffsLost: doc.DiffsLost,
 	}, nil
 }
 
@@ -311,6 +372,21 @@ func (a *Audit) WriteText(w io.Writer) error {
 			}
 		}
 	}
+	if len(a.planDiffs) > 0 {
+		if _, err := fmt.Fprintln(w, "plan changes"); err != nil {
+			return err
+		}
+		for _, pd := range a.planDiffs {
+			if err := WritePlanDiffText(w, pd); err != nil {
+				return err
+			}
+		}
+		if a.diffsLost > 0 {
+			if _, err := fmt.Fprintf(w, "  (%d plan-diff records discarded: log full)\n", a.diffsLost); err != nil {
+				return err
+			}
+		}
+	}
 	if len(a.chaos) > 0 {
 		if _, err := fmt.Fprintln(w, "chaos timeline"); err != nil {
 			return err
@@ -337,6 +413,46 @@ func (a *Audit) WriteText(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "  (%d chaos records discarded: log full)\n", a.chaosLost); err != nil {
 				return err
 			}
+		}
+	}
+	return nil
+}
+
+// WritePlanDiffText renders one plan-diff record: the decision header
+// (epoch, time, cause, shard hysteresis counts) and each structured change.
+func WritePlanDiffText(w io.Writer, pd PlanDiffRecord) error {
+	hdr := fmt.Sprintf("  epoch %-4d %9.1fms cause=%-9s", pd.Epoch, pd.AtMS, pd.Cause)
+	if pd.SessionsMoved > 0 {
+		hdr += fmt.Sprintf(" moved=%d", pd.SessionsMoved)
+	}
+	if pd.ShardsReplan > 0 || pd.ShardsSkipped > 0 {
+		hdr += fmt.Sprintf(" shards=%d replanned/%d skipped", pd.ShardsReplan, pd.ShardsSkipped)
+	}
+	if len(pd.Changes) == 0 {
+		hdr += " (no changes)"
+	}
+	if _, err := fmt.Fprintln(w, hdr); err != nil {
+		return err
+	}
+	for _, c := range pd.Changes {
+		line := fmt.Sprintf("    %-16s", c.Kind)
+		if c.Session != "" {
+			line += " session=" + c.Session
+		}
+		if c.Unit != "" {
+			line += " unit=" + c.Unit
+		}
+		if c.Node != "" {
+			line += " node=" + c.Node
+		}
+		if c.From != "" || c.To != "" {
+			line += fmt.Sprintf(" %s->%s", c.From, c.To)
+		}
+		if c.Detail != "" {
+			line += " (" + c.Detail + ")"
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
 		}
 	}
 	return nil

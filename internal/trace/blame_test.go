@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+// sortByTime puts a hand-built stream into the chronological order a real
+// trace has (the analyzer consumes events as recorded, time-ascending).
+func sortByTime(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+}
+
+// fullSpan emits the canonical event sequence for one request.
+func fullSpan(id uint64, session string, arrive, route, enqueue, execute, complete time.Duration,
+	backend, unit string, batchDur time.Duration) []Event {
+	return []Event{
+		{At: arrive, Kind: Arrive, ReqID: id, Session: session},
+		{At: route, Kind: Route, ReqID: id, Session: session, Backend: backend},
+		{At: enqueue, Kind: Enqueue, ReqID: id, Session: session, Backend: backend, Unit: unit},
+		{At: execute, Kind: Execute, ReqID: id, Session: session, Backend: backend, Unit: unit, Dur: batchDur, Inc: 1},
+		{At: complete, Kind: Complete, ReqID: id, Session: session, Backend: backend},
+	}
+}
+
+func TestAttributeBlameSingleRequest(t *testing.T) {
+	events := fullSpan(1, "s", 0, 2*ms, 5*ms, 9*ms, 20*ms, "b0", "u", 10*ms)
+	blames := AttributeBlame(events)
+	if len(blames) != 1 {
+		t.Fatalf("got %d blames, want 1", len(blames))
+	}
+	b := blames[0]
+	want := StageBlame{
+		Admission: 2 * ms, Dispatch: 3 * ms, Stall: 0, Queue: 4 * ms,
+		GPU: 11 * ms, Service: 11 * ms, Interference: 0, Total: 20 * ms,
+	}
+	if b.StageBlame != want {
+		t.Fatalf("blame mismatch:\n got %+v\nwant %+v", b.StageBlame, want)
+	}
+}
+
+func TestAttributeBlameNoRoute(t *testing.T) {
+	// Without a Route event everything up to the enqueue is dispatch.
+	events := []Event{
+		{At: 0, Kind: Arrive, ReqID: 1, Session: "s"},
+		{At: 4 * ms, Kind: Enqueue, ReqID: 1, Session: "s", Backend: "b0", Unit: "u"},
+		{At: 6 * ms, Kind: Execute, ReqID: 1, Session: "s", Backend: "b0", Unit: "u", Dur: 5 * ms, Inc: 1},
+		{At: 12 * ms, Kind: Complete, ReqID: 1, Session: "s"},
+	}
+	b := AttributeBlame(events)
+	if len(b) != 1 {
+		t.Fatalf("got %d blames, want 1", len(b))
+	}
+	if b[0].Admission != 0 || b[0].Dispatch != 4*ms {
+		t.Fatalf("routeless span: admission=%v dispatch=%v, want 0/4ms", b[0].Admission, b[0].Dispatch)
+	}
+}
+
+// TestAttributeBlameBatchStall: two members of the same batch — the early
+// member's wait until the batch stopped filling is stall, not queue.
+func TestAttributeBlameBatchStall(t *testing.T) {
+	var events []Event
+	events = append(events, fullSpan(1, "s", 0, 1*ms, 5*ms, 9*ms, 20*ms, "b0", "u", 10*ms)...)
+	events = append(events, fullSpan(2, "s", 0, 1*ms, 8*ms, 9*ms, 20*ms, "b0", "u", 10*ms)...)
+	sortByTime(events)
+	blames := AttributeBlame(events)
+	if len(blames) != 2 {
+		t.Fatalf("got %d blames, want 2", len(blames))
+	}
+	byID := map[uint64]RequestBlame{}
+	for _, b := range blames {
+		byID[b.ReqID] = b
+	}
+	// Batch closed at the last member's enqueue (8ms).
+	if got := byID[1]; got.Stall != 3*ms || got.Queue != 1*ms {
+		t.Errorf("req 1: stall=%v queue=%v, want 3ms/1ms", got.Stall, got.Queue)
+	}
+	if got := byID[2]; got.Stall != 0 || got.Queue != 1*ms {
+		t.Errorf("req 2: stall=%v queue=%v, want 0/1ms", got.Stall, got.Queue)
+	}
+}
+
+// TestAttributeBlameInterference: two units co-resident on one backend with
+// overlapping batch windows blame the overlap as interference; a third
+// request alone on another backend stays clean.
+func TestAttributeBlameInterference(t *testing.T) {
+	var events []Event
+	events = append(events, fullSpan(1, "a", 0, 1*ms, 5*ms, 10*ms, 21*ms, "b0", "uA", 10*ms)...)
+	events = append(events, fullSpan(2, "b", 0, 1*ms, 5*ms, 15*ms, 26*ms, "b0", "uB", 10*ms)...)
+	events = append(events, fullSpan(3, "c", 0, 1*ms, 5*ms, 10*ms, 21*ms, "b1", "uC", 10*ms)...)
+	sortByTime(events)
+	blames := AttributeBlame(events)
+	byID := map[uint64]RequestBlame{}
+	for _, b := range blames {
+		byID[b.ReqID] = b
+	}
+	// uA's window [10,20) overlaps uB's [15,25) for 5ms, and vice versa.
+	if got := byID[1]; got.Interference != 5*ms || got.Service != got.GPU-5*ms {
+		t.Errorf("req 1: interference=%v service=%v gpu=%v, want 5ms split", got.Interference, got.Service, got.GPU)
+	}
+	if got := byID[2]; got.Interference != 5*ms {
+		t.Errorf("req 2: interference=%v, want 5ms", got.Interference)
+	}
+	if got := byID[3]; got.Interference != 0 {
+		t.Errorf("req 3 (solo backend): interference=%v, want 0", got.Interference)
+	}
+}
+
+// TestAttributeBlameSkipsPartialSpans: drops and half-seen requests produce
+// no decomposition rather than a misattributed one.
+func TestAttributeBlameSkipsPartialSpans(t *testing.T) {
+	events := []Event{
+		// Dropped request: full prefix, then Drop.
+		{At: 0, Kind: Arrive, ReqID: 1, Session: "s"},
+		{At: 2 * ms, Kind: Enqueue, ReqID: 1, Session: "s", Backend: "b0", Unit: "u"},
+		{At: 5 * ms, Kind: Drop, ReqID: 1, Session: "s", Cause: "deadline"},
+		// Completed but never seen executing (ring eviction).
+		{At: 0, Kind: Arrive, ReqID: 2, Session: "s"},
+		{At: 9 * ms, Kind: Complete, ReqID: 2, Session: "s"},
+		// Complete without any prior events at all.
+		{At: 9 * ms, Kind: Complete, ReqID: 3, Session: "s"},
+	}
+	if blames := AttributeBlame(events); len(blames) != 0 {
+		t.Fatalf("partial spans attributed: %+v", blames)
+	}
+}
+
+// TestAttributeBlameReconciles is the exact-sum contract on a busier
+// synthetic stream: stages always sum to the traced total.
+func TestAttributeBlameReconciles(t *testing.T) {
+	var events []Event
+	for i := uint64(0); i < 40; i++ {
+		base := time.Duration(i) * ms
+		events = append(events, fullSpan(i, "s",
+			base, base+1*ms, base+2*ms, base+4*ms, base+9*ms, "b0", "u", 4*ms)...)
+	}
+	blames := AttributeBlame(events)
+	if len(blames) != 40 {
+		t.Fatalf("got %d blames, want 40", len(blames))
+	}
+	for _, b := range blames {
+		if sum := b.Admission + b.Dispatch + b.Stall + b.Queue + b.GPU; sum != b.Total {
+			t.Fatalf("req %d: stages sum to %v, total %v", b.ReqID, sum, b.Total)
+		}
+		if b.Service+b.Interference != b.GPU {
+			t.Fatalf("req %d: service %v + interference %v != gpu %v", b.ReqID, b.Service, b.Interference, b.GPU)
+		}
+	}
+}
+
+func TestSessionBlames(t *testing.T) {
+	var events []Event
+	// Ten requests with distinct totals 10..19ms and one 40ms outlier. With
+	// 11 sorted totals the p99 rank is index int(0.99*10)=9 — the 19ms
+	// request — so the tail cohort is {19ms, 40ms}.
+	for i := uint64(0); i < 10; i++ {
+		base := time.Duration(i) * 100 * ms
+		events = append(events, fullSpan(i, "s",
+			base, base+1*ms, base+2*ms, base+4*ms, base+time.Duration(10+i)*ms, "b0", "u", 4*ms)...)
+	}
+	events = append(events, fullSpan(99, "s", 5000*ms, 5001*ms, 5002*ms, 5030*ms, 5040*ms, "b0", "u", 8*ms)...)
+	sbs := SessionBlames(AttributeBlame(events))
+	if len(sbs) != 1 {
+		t.Fatalf("got %d sessions, want 1", len(sbs))
+	}
+	sb := sbs[0]
+	if sb.Session != "s" || sb.Count != 11 {
+		t.Fatalf("session %q count %d, want s/11", sb.Session, sb.Count)
+	}
+	if sb.Exemplar != 99 {
+		t.Fatalf("exemplar %d, want the slowest request 99", sb.Exemplar)
+	}
+	if sb.P99 != 19*ms {
+		t.Fatalf("p99 %v, want 19ms", sb.P99)
+	}
+	if sb.TailCount != 2 {
+		t.Fatalf("tail cohort %d, want 2", sb.TailCount)
+	}
+	// Tail mean queue: the 19ms request queued 2ms (enqueue 2ms → execute
+	// 4ms), the outlier 28ms (enqueue 5002ms → execute 5030ms).
+	if sb.Tail.Queue != 15*ms {
+		t.Fatalf("tail queue %v, want 15ms", sb.Tail.Queue)
+	}
+	if sum := sb.Tail.Admission + sb.Tail.Dispatch + sb.Tail.Stall + sb.Tail.Queue + sb.Tail.GPU; sum != sb.Tail.Total {
+		t.Fatalf("tail stages sum to %v, total %v", sum, sb.Tail.Total)
+	}
+}
+
+func TestWriteBlameReport(t *testing.T) {
+	events := fullSpan(7, "game", 0, 1*ms, 2*ms, 4*ms, 10*ms, "b0", "u", 4*ms)
+	var sb strings.Builder
+	if err := WriteBlameReport(&sb, SessionBlames(AttributeBlame(events))); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"p99 blame breakdown", "game", "exemplar=req 7",
+		"admission", "dispatch", "batch-stall", "queue", "gpu-service", "interference",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Empty input writes nothing.
+	var empty strings.Builder
+	if err := WriteBlameReport(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("empty blame report wrote %q", empty.String())
+	}
+}

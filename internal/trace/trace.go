@@ -158,6 +158,26 @@ func (t *Tracer) Record(e Event) {
 	}
 }
 
+// Reserve returns the next ring slot, already counted, for dispatch-hot-path
+// callers to fill in place: one struct write into the ring, no argument copy,
+// and the method inlines (Record cannot — the filter call exceeds the inline
+// budget). The slot still holds its previous occupant until overwritten, so
+// callers must assign a complete Event. Reserve bypasses any SetFilter
+// predicate; a nil tracer returns nil.
+func (t *Tracer) Reserve() *Event {
+	if t == nil {
+		return nil
+	}
+	s := &t.events[t.next]
+	t.next++
+	t.total++
+	if t.next == len(t.events) {
+		t.next = 0
+		t.filled = true
+	}
+	return s
+}
+
 // Total returns how many events were recorded (including overwritten ones).
 func (t *Tracer) Total() uint64 {
 	if t == nil {
